@@ -1,0 +1,112 @@
+// google-benchmark micro-benchmarks for the substrates: simulator event
+// throughput, graph generators, the greedy spanner, the D(k,q) construction,
+// and girth computation. These quantify the cost of the experiment harness
+// itself, independent of any paper claim.
+#include <benchmark/benchmark.h>
+
+#include "algo/flooding.hpp"
+#include "algo/ranked_dfs.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/high_girth.hpp"
+#include "graph/spanner.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/sync_engine.hpp"
+
+namespace {
+
+using namespace rise;
+
+sim::Instance make_inst(const graph::Graph& g, sim::Knowledge k) {
+  sim::InstanceOptions opt;
+  opt.knowledge = k;
+  Rng rng(1);
+  return sim::Instance::create(g, opt, rng);
+}
+
+void BM_AsyncFloodingEvents(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT0);
+  const auto delays = sim::unit_delay();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = sim::run_async(inst, *delays, sim::wake_single(0), 1,
+                                       algo::flooding_factory());
+    events += result.metrics.events;
+    benchmark::DoNotOptimize(result.metrics.messages);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AsyncFloodingEvents)->Arg(1000)->Arg(4000);
+
+void BM_SyncFloodingRounds(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT0);
+  for (auto _ : state) {
+    const auto result =
+        sim::run_sync(inst, sim::wake_single(0), 1, algo::flooding_factory());
+    benchmark::DoNotOptimize(result.metrics.rounds);
+  }
+}
+BENCHMARK(BM_SyncFloodingRounds)->Arg(1000)->Arg(4000);
+
+void BM_RankedDfs(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT1);
+  const auto delays = sim::unit_delay();
+  for (auto _ : state) {
+    const auto result = sim::run_async(inst, *delays, sim::wake_all(n), 1,
+                                       algo::ranked_dfs_factory());
+    benchmark::DoNotOptimize(result.metrics.messages);
+  }
+}
+BENCHMARK(BM_RankedDfs)->Arg(250)->Arg(500);
+
+void BM_GreedySpanner(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 0.1, rng);
+  for (auto _ : state) {
+    const auto s = graph::greedy_spanner(g, 3);
+    benchmark::DoNotOptimize(s.num_edges());
+  }
+}
+BENCHMARK(BM_GreedySpanner)->Arg(300)->Arg(600);
+
+void BM_LazebnikUstimenkoD3(benchmark::State& state) {
+  const auto q = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const auto bg = graph::lazebnik_ustimenko_d(3, q);
+    benchmark::DoNotOptimize(bg.graph.num_edges());
+  }
+}
+BENCHMARK(BM_LazebnikUstimenkoD3)->Arg(5)->Arg(11);
+
+void BM_Girth(benchmark::State& state) {
+  const auto q = static_cast<std::uint64_t>(state.range(0));
+  const auto bg = graph::lazebnik_ustimenko_d(3, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::girth(bg.graph));
+  }
+}
+BENCHMARK(BM_Girth)->Arg(5)->Arg(7);
+
+void BM_BfsTree(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    const auto t = graph::bfs_tree(g, 0);
+    benchmark::DoNotOptimize(t.depth.back());
+  }
+}
+BENCHMARK(BM_BfsTree)->Arg(10000);
+
+}  // namespace

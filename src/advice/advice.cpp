@@ -1,0 +1,11 @@
+#include "advice/advice.hpp"
+
+namespace rise::advice {
+
+sim::Instance::AdviceStats apply_oracle(sim::Instance& instance,
+                                        const AdvisingOracle& oracle) {
+  instance.set_advice(oracle.advise(instance));
+  return instance.advice_stats();
+}
+
+}  // namespace rise::advice

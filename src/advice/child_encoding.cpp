@@ -1,0 +1,185 @@
+#include "advice/child_encoding.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace rise::advice {
+
+namespace {
+
+void write_optional_port(BitWriter& w, bool present, sim::Port port) {
+  w.write_bit(present);
+  if (present) w.write_gamma(port);
+}
+
+class ChildEncodingOracle final : public AdvisingOracle {
+ public:
+  ChildEncodingOracle(graph::NodeId root, unsigned arity)
+      : root_(root), arity_(arity) {}
+
+  std::vector<BitString> advise(const sim::Instance& instance) const override {
+    const auto& g = instance.graph();
+    RISE_CHECK_MSG(graph::is_connected(g),
+                   "tree advising schemes require a connected graph");
+    const auto tree = graph::bfs_tree(g, root_);
+
+    std::vector<CenAdvice> fields(g.num_nodes());
+
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (tree.parent[u] != graph::kInvalidNode) {
+        fields[u].has_parent = true;
+        fields[u].parent = instance.neighbor_to_port(u, tree.parent[u]);
+      }
+      // Order u's children by their port number at u, then lay them out as a
+      // 1-based binary heap: child i's "next siblings" are 2i and 2i+1.
+      std::vector<std::pair<sim::Port, graph::NodeId>> kids;
+      for (graph::NodeId c : tree.children[u]) {
+        kids.push_back({instance.neighbor_to_port(u, c), c});
+      }
+      std::sort(kids.begin(), kids.end());
+      if (!kids.empty()) {
+        fields[u].has_first_child = true;
+        fields[u].first_child = kids[0].first;
+      }
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        const graph::NodeId c = kids[i].second;
+        if (arity_ == 1) {
+          // Ablation: linked list of siblings.
+          if (i + 1 < kids.size()) {
+            fields[c].has_next_a = true;
+            fields[c].next_a = kids[i + 1].first;
+          }
+          continue;
+        }
+        const std::size_t heap = i + 1;
+        if (2 * heap - 1 < kids.size()) {
+          fields[c].has_next_a = true;
+          fields[c].next_a = kids[2 * heap - 1].first;
+        }
+        if (2 * heap < kids.size()) {
+          fields[c].has_next_b = true;
+          fields[c].next_b = kids[2 * heap].first;
+        }
+      }
+    }
+
+    std::vector<BitString> advice(g.num_nodes());
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      BitWriter w;
+      write_optional_port(w, fields[u].has_parent, fields[u].parent);
+      write_optional_port(w, fields[u].has_first_child, fields[u].first_child);
+      write_optional_port(w, fields[u].has_next_a, fields[u].next_a);
+      write_optional_port(w, fields[u].has_next_b, fields[u].next_b);
+      advice[u] = w.take();
+    }
+    return advice;
+  }
+
+ private:
+  graph::NodeId root_;
+  unsigned arity_;
+};
+
+class ChildEncodingProcess final : public sim::Process {
+ public:
+  void on_wake(sim::Context& ctx, sim::WakeCause cause) override {
+    advice_ = decode_cen_advice(ctx.advice());
+    if (cause == sim::WakeCause::kAdversary) {
+      notify_parent(ctx);
+      start_children(ctx);
+    }
+  }
+
+  void on_message(sim::Context& ctx, const sim::Incoming& in) override {
+    switch (in.msg.type) {
+      case kCenWakeChild: {
+        // Our parent is clearly awake; answer with our next-sibling pair so
+        // the parent can continue the binary dissemination.
+        parent_notified_ = true;
+        std::vector<std::uint64_t> payload;
+        payload.push_back(
+            (advice_.has_next_a ? 1u : 0u) | (advice_.has_next_b ? 2u : 0u));
+        payload.push_back(advice_.has_next_a ? advice_.next_a : 0);
+        payload.push_back(advice_.has_next_b ? advice_.next_b : 0);
+        ctx.send(in.port, sim::make_message(kCenNext, std::move(payload),
+                                            8 + 2 * ctx.label_bits()));
+        start_children(ctx);
+        break;
+      }
+      case kCenNext: {
+        const std::uint64_t flags = in.msg.payload[0];
+        const sim::Message wake = sim::make_message(kCenWakeChild, {}, 8);
+        if (flags & 1u) {
+          ctx.send(static_cast<sim::Port>(in.msg.payload[1]), wake);
+        }
+        if (flags & 2u) {
+          ctx.send(static_cast<sim::Port>(in.msg.payload[2]), wake);
+        }
+        break;
+      }
+      case kCenWakeParent: {
+        // A child woke independently; wake our own parent and the rest of
+        // the family.
+        notify_parent(ctx);
+        start_children(ctx);
+        break;
+      }
+      default:
+        RISE_CHECK_MSG(false, "CEN: unexpected message type " << in.msg.type);
+    }
+  }
+
+ private:
+  void notify_parent(sim::Context& ctx) {
+    if (parent_notified_ || !advice_.has_parent) return;
+    parent_notified_ = true;
+    ctx.send(advice_.parent, sim::make_message(kCenWakeParent, {}, 8));
+  }
+
+  void start_children(sim::Context& ctx) {
+    if (started_ || !advice_.has_first_child) {
+      started_ = true;
+      return;
+    }
+    started_ = true;
+    ctx.send(advice_.first_child, sim::make_message(kCenWakeChild, {}, 8));
+  }
+
+  CenAdvice advice_;
+  bool parent_notified_ = false;
+  bool started_ = false;
+};
+
+}  // namespace
+
+CenAdvice decode_cen_advice(const BitString& bits) {
+  BitReader r(bits);
+  CenAdvice a;
+  auto read_optional = [&r](bool& flag, sim::Port& port) {
+    flag = r.read_bit();
+    if (flag) port = static_cast<sim::Port>(r.read_gamma());
+  };
+  read_optional(a.has_parent, a.parent);
+  read_optional(a.has_first_child, a.first_child);
+  read_optional(a.has_next_a, a.next_a);
+  read_optional(a.has_next_b, a.next_b);
+  return a;
+}
+
+std::unique_ptr<AdvisingOracle> child_encoding_oracle(graph::NodeId root,
+                                                      unsigned arity) {
+  RISE_CHECK(arity == 1 || arity == 2);
+  return std::make_unique<ChildEncodingOracle>(root, arity);
+}
+
+sim::ProcessFactory child_encoding_factory() {
+  return [](sim::NodeId) { return std::make_unique<ChildEncodingProcess>(); };
+}
+
+AdvisingScheme child_encoding_scheme(graph::NodeId root) {
+  return {child_encoding_oracle(root), child_encoding_factory()};
+}
+
+}  // namespace rise::advice

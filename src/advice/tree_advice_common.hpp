@@ -1,0 +1,30 @@
+// Shared helpers for BFS-tree-based advising schemes (Cor. 1, Thm. 5A/5B):
+// computing per-node tree ports from the oracle's view and encoding/decoding
+// port sets.
+#pragma once
+
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "sim/instance.hpp"
+#include "support/bitio.hpp"
+
+namespace rise::advice {
+
+/// Ports of `u` that lead to its BFS-tree neighbors (parent first when
+/// present, then children in child order).
+std::vector<sim::Port> tree_ports(const sim::Instance& instance,
+                                  const graph::BfsTree& tree,
+                                  graph::NodeId u);
+
+/// Appends the port set in whichever of two encodings is shorter:
+///   format bit 0: gamma(count) then fixed-width ports;
+///   format bit 1: a degree-long bitmap with tree ports set.
+/// The decoder needs only the node's own degree.
+void encode_port_set(BitWriter& w, const std::vector<sim::Port>& ports,
+                     std::uint32_t degree);
+
+/// Inverse of encode_port_set.
+std::vector<sim::Port> decode_port_set(BitReader& r, std::uint32_t degree);
+
+}  // namespace rise::advice

@@ -1,0 +1,26 @@
+#include "algo/flooding.hpp"
+
+namespace rise::algo {
+
+namespace {
+
+class Flooding final : public sim::Process {
+ public:
+  void on_wake(sim::Context& ctx, sim::WakeCause) override {
+    // A single O(1)-bit wake-up signal on every port.
+    ctx.broadcast(sim::make_message(kFloodWake, {}, 8));
+  }
+
+  void on_message(sim::Context&, const sim::Incoming&) override {
+    // Receiving a message already woke us (triggering on_wake); nothing else
+    // to do.
+  }
+};
+
+}  // namespace
+
+sim::ProcessFactory flooding_factory() {
+  return [](sim::NodeId) { return std::make_unique<Flooding>(); };
+}
+
+}  // namespace rise::algo

@@ -1,0 +1,35 @@
+#include "algo/gossip.hpp"
+
+namespace rise::algo {
+
+namespace {
+
+class PushGossip final : public sim::Process {
+ public:
+  explicit PushGossip(std::uint64_t round_budget) : budget_(round_budget) {}
+
+  void on_wake(sim::Context&, sim::WakeCause) override {}
+
+  void on_message(sim::Context&, const sim::Incoming&) override {}
+
+  void on_round(sim::Context& ctx, std::span<const sim::Incoming>) override {
+    if (ctx.local_round() > budget_ || ctx.degree() == 0) return;
+    const sim::Port p =
+        static_cast<sim::Port>(ctx.rng().uniform(ctx.degree()));
+    ctx.send(p, sim::make_message(kGossipPush, {}, 8));
+    ctx.request_tick();
+  }
+
+ private:
+  std::uint64_t budget_;
+};
+
+}  // namespace
+
+sim::ProcessFactory push_gossip_factory(std::uint64_t round_budget) {
+  return [round_budget](sim::NodeId) {
+    return std::make_unique<PushGossip>(round_budget);
+  };
+}
+
+}  // namespace rise::algo

@@ -1,0 +1,100 @@
+// String-spec front end: build graphs, wake schedules, delay policies, and
+// algorithm setups from compact command-line-style specifications. This is
+// the engine behind tools/rise_cli and makes every experiment in the paper
+// reproducible from a one-line invocation, e.g.
+//
+//   rise_cli --graph gnp:1000:0.01 --algo ranked_dfs
+//            --schedule staggered:10:2 --delay random:5 --seed 7
+//
+// Spec grammars (all fields ':'-separated; see each parser for details):
+//   graph:    path:N | cycle:N | star:N | complete:N | grid:RxC | torus:RxC |
+//             hypercube:DIM | tree:N | gnp:N:P | cgnp:N:P | regular:N:D |
+//             lollipop:CLIQUE:PATH | barbell:CLIQUE:BRIDGE | pendant:N |
+//             dkq:K:Q | kt0family:N | kt1family:K:Q
+//   schedule: single[:NODE] | all | set:a,b,c | random:P |
+//             staggered:GAP:GROWTH | dominating
+//   delay:    unit | fixed:TAU | random:TAU | slow:TAU:ONE_IN |
+//             congestion:TAU
+//   algo:     flooding | ranked_dfs | ranked_dfs_nodiscard | fast_wakeup |
+//             gossip:BUDGET | ttl:R | fip06 | sqrt | cen | cen_chain |
+//             spanner:K | cor2 | beta:B
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "advice/advice.hpp"
+#include "graph/graph.hpp"
+#include "sim/adversary.hpp"
+#include "sim/delay_policy.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+#include "support/stats.hpp"
+
+namespace rise::app {
+
+graph::Graph parse_graph_spec(const std::string& spec, Rng& rng);
+
+sim::WakeSchedule parse_schedule_spec(const std::string& spec,
+                                      const graph::Graph& g, Rng& rng);
+
+std::unique_ptr<sim::DelayPolicy> parse_delay_spec(const std::string& spec,
+                                                   std::uint64_t seed);
+
+/// A fully-specified algorithm: model requirements, optional oracle, and the
+/// per-node process factory.
+struct AlgorithmSetup {
+  std::string name;
+  sim::Knowledge knowledge = sim::Knowledge::KT0;
+  sim::Bandwidth bandwidth = sim::Bandwidth::LOCAL;
+  bool synchronous = false;
+  std::unique_ptr<advice::AdvisingOracle> oracle;  // null if none
+  sim::ProcessFactory factory;
+};
+
+AlgorithmSetup parse_algorithm_spec(const std::string& spec);
+
+/// Names accepted by parse_algorithm_spec (for --help listings).
+std::vector<std::string> algorithm_names();
+
+/// One experiment, end to end.
+struct ExperimentSpec {
+  std::string graph = "gnp:200:0.05";
+  std::string schedule = "single";
+  std::string algorithm = "flooding";
+  std::string delay = "unit";  // ignored by synchronous algorithms
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentReport {
+  sim::RunResult result;
+  sim::Instance::AdviceStats advice;
+  graph::NodeId num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::uint32_t rho_awk = 0;
+  std::string algorithm;
+  bool synchronous = false;
+};
+
+ExperimentReport run_experiment(const ExperimentSpec& spec);
+
+/// Human-readable multi-line summary of a report.
+std::string format_report(const ExperimentReport& report);
+
+/// Multi-seed sweep: runs the experiment with seeds base.seed, base.seed+1,
+/// ..., aggregating distributions of the key measures.
+struct SweepResult {
+  SampleStats messages;
+  SampleStats time_units;
+  SampleStats wakeup_span;
+  std::size_t runs = 0;
+  std::size_t failures = 0;  ///< runs in which some node stayed asleep
+};
+
+SweepResult run_sweep(const ExperimentSpec& base, std::size_t num_seeds);
+
+std::string format_sweep(const SweepResult& sweep);
+
+}  // namespace rise::app

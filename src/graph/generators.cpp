@@ -1,0 +1,310 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace rise::graph {
+
+namespace {
+
+Graph from(NodeId n, std::vector<Edge> edges) {
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace
+
+Graph path(NodeId n) {
+  RISE_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (NodeId i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return from(n, std::move(edges));
+}
+
+Graph cycle(NodeId n) {
+  RISE_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return from(n, std::move(edges));
+}
+
+Graph star(NodeId n) {
+  RISE_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId i = 1; i < n; ++i) edges.push_back({0, i});
+  return from(n, std::move(edges));
+}
+
+Graph complete(NodeId n) {
+  RISE_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  return from(n, std::move(edges));
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  RISE_CHECK(a >= 1 && b >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = 0; v < b; ++v) edges.push_back({u, a + v});
+  return from(a + b, std::move(edges));
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  RISE_CHECK(rows >= 1 && cols >= 1);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({at(r, c), at(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({at(r, c), at(r + 1, c)});
+    }
+  }
+  return from(rows * cols, std::move(edges));
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  RISE_CHECK(rows >= 3 && cols >= 3);
+  auto at = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::vector<Edge> edges;
+  auto add = [&](NodeId u, NodeId v) {
+    auto key = std::minmax(u, v);
+    if (seen.insert({key.first, key.second}).second) edges.push_back({u, v});
+  };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      add(at(r, c), at(r, (c + 1) % cols));
+      add(at(r, c), at((r + 1) % rows, c));
+    }
+  }
+  return from(rows * cols, std::move(edges));
+}
+
+Graph hypercube(unsigned dim) {
+  RISE_CHECK(dim >= 1 && dim <= 20);
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dim; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return from(n, std::move(edges));
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  RISE_CHECK(n >= 1);
+  if (n == 1) return from(1, {});
+  if (n == 2) return from(2, {{0, 1}});
+  // Prüfer decoding.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<NodeId>(rng.uniform(n));
+  std::vector<NodeId> deg(n, 1);
+  for (NodeId x : prufer) ++deg[x];
+  std::set<NodeId> leaves;
+  for (NodeId i = 0; i < n; ++i)
+    if (deg[i] == 1) leaves.insert(i);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId x : prufer) {
+    const NodeId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.push_back({leaf, x});
+    if (--deg[x] == 1) leaves.insert(x);
+  }
+  RISE_CHECK(leaves.size() == 2);
+  const NodeId a = *leaves.begin();
+  const NodeId b = *std::next(leaves.begin());
+  edges.push_back({a, b});
+  return from(n, std::move(edges));
+}
+
+Graph gnp(NodeId n, double p, Rng& rng) {
+  RISE_CHECK(n >= 1);
+  RISE_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.chance(p)) edges.push_back({u, v});
+  return from(n, std::move(edges));
+}
+
+Graph connected_gnp(NodeId n, double p, Rng& rng) {
+  RISE_CHECK(n >= 1);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::vector<Edge> edges;
+  auto add = [&](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    if (seen.insert({u, v}).second) edges.push_back({u, v});
+  };
+  // Random spanning tree backbone.
+  const Graph tree = random_tree(n, rng);
+  for (const Edge& e : tree.edges()) add(e.u, e.v);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.chance(p)) add(u, v);
+  return from(n, std::move(edges));
+}
+
+Graph random_regular(NodeId n, NodeId d, Rng& rng) {
+  RISE_CHECK(d < n);
+  RISE_CHECK_MSG((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+                 "n*d must be even for a d-regular graph");
+  // Configuration model with local pair-repair: a fully-restarting sampler
+  // succeeds only with probability ~exp(-(d^2-1)/4), which is hopeless for
+  // d >= 5; instead we fix up self-loops and duplicate edges by swapping the
+  // offending stub with a uniformly random one and retrying.
+  const std::size_t num_pairs = static_cast<std::size_t>(n) * d / 2;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(num_pairs * 2);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId i = 0; i < d; ++i) stubs.push_back(u);
+    rng.shuffle(stubs);
+
+    auto key = [](NodeId a, NodeId b) {
+      if (a > b) std::swap(a, b);
+      return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+    std::map<std::uint64_t, int> count;
+    auto pair_bad = [&](std::size_t i) {
+      const NodeId a = stubs[2 * i], b = stubs[2 * i + 1];
+      return a == b || count[key(a, b)] > 1;
+    };
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      if (stubs[2 * i] != stubs[2 * i + 1]) {
+        ++count[key(stubs[2 * i], stubs[2 * i + 1])];
+      }
+    }
+    bool ok = true;
+    std::uint64_t budget = 200 * num_pairs + 10000;
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      while (pair_bad(i)) {
+        if (budget-- == 0) {
+          ok = false;
+          break;
+        }
+        // Swap this pair's second stub with a random stub elsewhere.
+        const std::size_t j = rng.uniform(num_pairs);
+        if (j == i) continue;
+        auto unbook = [&](std::size_t p) {
+          if (stubs[2 * p] != stubs[2 * p + 1]) {
+            --count[key(stubs[2 * p], stubs[2 * p + 1])];
+          }
+        };
+        auto book = [&](std::size_t p) {
+          if (stubs[2 * p] != stubs[2 * p + 1]) {
+            ++count[key(stubs[2 * p], stubs[2 * p + 1])];
+          }
+        };
+        unbook(i);
+        unbook(j);
+        std::swap(stubs[2 * i + 1], stubs[2 * j + 1]);
+        book(i);
+        book(j);
+        if (pair_bad(j)) {
+          // Keep the swap only if it did not break pair j; otherwise undo.
+          unbook(i);
+          unbook(j);
+          std::swap(stubs[2 * i + 1], stubs[2 * j + 1]);
+          book(i);
+          book(j);
+        }
+      }
+      if (!ok) break;
+    }
+    if (!ok) continue;
+    std::vector<Edge> edges;
+    edges.reserve(num_pairs);
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      edges.push_back({stubs[2 * i], stubs[2 * i + 1]});
+    }
+    return from(n, std::move(edges));
+  }
+  RISE_CHECK_MSG(false, "random_regular failed to converge (n=" << n << " d="
+                                                                << d << ")");
+  return {};
+}
+
+Graph lollipop(NodeId clique_size, NodeId path_len) {
+  RISE_CHECK(clique_size >= 2);
+  const NodeId n = clique_size + path_len;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < clique_size; ++u)
+    for (NodeId v = u + 1; v < clique_size; ++v) edges.push_back({u, v});
+  for (NodeId i = 0; i < path_len; ++i) {
+    const NodeId prev = (i == 0) ? NodeId{0} : clique_size + i - 1;
+    edges.push_back({prev, clique_size + i});
+  }
+  return from(n, std::move(edges));
+}
+
+Graph barbell(NodeId clique_size, NodeId bridge_len) {
+  RISE_CHECK(clique_size >= 2);
+  const NodeId n = 2 * clique_size + bridge_len;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < clique_size; ++u)
+    for (NodeId v = u + 1; v < clique_size; ++v) edges.push_back({u, v});
+  const NodeId right = clique_size + bridge_len;
+  for (NodeId u = 0; u < clique_size; ++u)
+    for (NodeId v = u + 1; v < clique_size; ++v)
+      edges.push_back({right + u, right + v});
+  NodeId prev = 0;
+  for (NodeId i = 0; i < bridge_len; ++i) {
+    edges.push_back({prev, clique_size + i});
+    prev = clique_size + i;
+  }
+  edges.push_back({prev, right});
+  return from(n, std::move(edges));
+}
+
+Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
+  RISE_CHECK(attach >= 1 && n > attach);
+  std::vector<Edge> edges;
+  // Seed clique on attach+1 nodes.
+  for (NodeId u = 0; u <= attach; ++u)
+    for (NodeId v = u + 1; v <= attach; ++v) edges.push_back({u, v});
+  // The endpoint multiset realizes preferential attachment: a node appears
+  // once per incident edge, so uniform sampling from it is degree-weighted.
+  std::vector<NodeId> endpoints;
+  for (const Edge& e : edges) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  for (NodeId u = attach + 1; u < n; ++u) {
+    std::set<NodeId> targets;
+    while (targets.size() < attach) {
+      targets.insert(endpoints[rng.uniform(endpoints.size())]);
+    }
+    for (NodeId v : targets) {
+      edges.push_back({u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return from(n, std::move(edges));
+}
+
+Graph complete_plus_pendant(NodeId n) {
+  RISE_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < n; ++u)
+    for (NodeId v = u + 1; v + 1 < n; ++v) edges.push_back({u, v});
+  edges.push_back({0, n - 1});  // the pendant vertex
+  return from(n, std::move(edges));
+}
+
+}  // namespace rise::graph

@@ -1,0 +1,81 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rise::graph {
+
+Graph Graph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
+  Graph g;
+  for (auto& e : edges) {
+    RISE_CHECK_MSG(e.u != e.v, "self-loop at node " << e.u);
+    RISE_CHECK_MSG(e.u < num_nodes && e.v < num_nodes,
+                   "edge endpoint out of range: {" << e.u << "," << e.v
+                                                   << "} n=" << num_nodes);
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  const auto dup = std::adjacent_find(edges.begin(), edges.end());
+  RISE_CHECK_MSG(dup == edges.end(), "duplicate edge in edge list");
+
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(g.edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]));
+  }
+  return g;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  RISE_DCHECK(u < num_nodes());
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+NodeId Graph::degree(NodeId u) const {
+  RISE_DCHECK(u < num_nodes());
+  return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::optional<std::uint32_t> Graph::neighbor_slot(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return std::nullopt;
+  return static_cast<std::uint32_t>(it - nb.begin());
+}
+
+NodeId Graph::max_degree() const {
+  NodeId best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+NodeId Graph::min_degree() const {
+  if (num_nodes() == 0) return 0;
+  NodeId best = degree(0);
+  for (NodeId u = 1; u < num_nodes(); ++u) best = std::min(best, degree(u));
+  return best;
+}
+
+}  // namespace rise::graph

@@ -1,0 +1,64 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// All algorithms, simulators, and generators in this library operate on this
+// type. Node identifiers here are dense internal indices 0..n-1; the
+// *protocol-visible* IDs (the "idᵤ" of the paper, adversary-chosen from a
+// polynomial range) live in sim::Instance, which layers labels and KT0 port
+// permutations on top of a Graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rise::graph {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge between internal node indices.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph over nodes 0..n-1 from an edge list. Self-loops and
+  /// duplicate edges are rejected (the paper's networks are simple graphs).
+  static Graph from_edges(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Neighbors of u in ascending index order. The position of a neighbor in
+  /// this span is its *canonical slot*; KT0 port numbers are a permutation of
+  /// canonical slots chosen by the adversary (see sim::Instance).
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  NodeId degree(NodeId u) const;
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Position of v within neighbors(u), if adjacent.
+  std::optional<std::uint32_t> neighbor_slot(NodeId u, NodeId v) const;
+
+  /// The edge list the graph was built from (normalized to u < v, sorted).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  NodeId max_degree() const;
+  NodeId min_degree() const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
+  std::vector<Edge> edges_;           // size m, normalized
+};
+
+}  // namespace rise::graph

@@ -1,0 +1,226 @@
+#include "graph/high_girth.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/check.hpp"
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rise::graph {
+
+namespace {
+
+/// Decodes vertex index v in [0, q^k) to its k coordinates over F_q
+/// (coordinate 0 is the free first coordinate).
+std::vector<std::uint64_t> decode_coords(std::uint64_t v, unsigned k,
+                                         std::uint64_t q) {
+  std::vector<std::uint64_t> c(k);
+  for (unsigned i = 0; i < k; ++i) {
+    c[i] = v % q;
+    v /= q;
+  }
+  return c;
+}
+
+std::uint64_t encode_coords(const std::vector<std::uint64_t>& c,
+                            std::uint64_t q) {
+  std::uint64_t v = 0;
+  for (std::size_t i = c.size(); i-- > 0;) v = v * q + c[i];
+  return v;
+}
+
+/// Given point coordinates p[0..k-1] and the free line coordinate l1,
+/// computes the unique incident line's coordinates by solving the D(k,q)
+/// relations l[j] = p[j] + (product of earlier coordinates) in order.
+std::vector<std::uint64_t> solve_line(const std::vector<std::uint64_t>& p,
+                                      std::uint64_t l1, std::uint64_t q) {
+  const unsigned k = static_cast<unsigned>(p.size());
+  std::vector<std::uint64_t> l(k);
+  l[0] = l1;
+  auto mul = [q](std::uint64_t a, std::uint64_t b) { return mulmod(a, b, q); };
+  auto add = [q](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a + b;
+    return s >= q ? s - q : s;
+  };
+  for (unsigned j = 1; j < k; ++j) {
+    std::uint64_t term;
+    if (j == 1) {
+      term = mul(l[0], p[0]);  // l_{11} = p_{11} + l_1 p_1
+    } else if (j == 2) {
+      term = mul(l[1], p[0]);  // l_{12} = p_{12} + l_{11} p_1
+    } else if (j == 3) {
+      term = mul(l[0], p[1]);  // l_{21} = p_{21} + l_1 p_{11}
+    } else {
+      // For i >= 2, coordinates come in blocks of four starting at
+      // base = 4*(i-2) + 4: (ii), (ii)', (i,i+1), (i+1,i).
+      const unsigned off = (j - 4) % 4;
+      switch (off) {
+        case 0:  // l_{ii} = p_{ii} + l_1 p_{i-1,i}
+          term = mul(l[0], p[j - 2]);
+          break;
+        case 1:  // l'_{ii} = p'_{ii} + l_{i,i-1} p_1
+          term = mul(l[j - 2], p[0]);
+          break;
+        case 2:  // l_{i,i+1} = p_{i,i+1} + l_{ii} p_1
+          term = mul(l[j - 2], p[0]);
+          break;
+        default:  // l_{i+1,i} = p_{i+1,i} + l_1 p'_{ii}
+          term = mul(l[0], p[j - 2]);
+          break;
+      }
+    }
+    l[j] = add(p[j], term);
+  }
+  return l;
+}
+
+}  // namespace
+
+BipartiteGraph lazebnik_ustimenko_d(unsigned k, std::uint64_t q) {
+  RISE_CHECK_MSG(k >= 2, "D(k,q) needs k >= 2");
+  RISE_CHECK_MSG(is_prime(q), "q must be prime, got " << q);
+  std::uint64_t side = 1;
+  for (unsigned i = 0; i < k; ++i) {
+    side *= q;
+    RISE_CHECK_MSG(side < (std::uint64_t{1} << 31), "D(k,q) too large");
+  }
+  const NodeId n_side = static_cast<NodeId>(side);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(side) * q);
+  for (std::uint64_t pv = 0; pv < side; ++pv) {
+    const auto p = decode_coords(pv, k, q);
+    for (std::uint64_t l1 = 0; l1 < q; ++l1) {
+      const auto l = solve_line(p, l1, q);
+      const std::uint64_t lv = encode_coords(l, q);
+      edges.push_back({static_cast<NodeId>(pv),
+                       static_cast<NodeId>(side + lv)});
+    }
+  }
+  BipartiteGraph bg;
+  bg.left_size = n_side;
+  bg.right_size = n_side;
+  bg.graph = Graph::from_edges(2 * n_side, std::move(edges));
+  return bg;
+}
+
+BipartiteGraph pruned_high_girth_bipartite(NodeId side_size, NodeId d,
+                                           std::uint32_t min_girth, Rng& rng) {
+  RISE_CHECK(d >= 1 && d <= side_size);
+  // Union of d random matchings, repaired to be simple.
+  std::vector<std::vector<NodeId>> matchings(d);
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (NodeId m = 0; m < d; ++m) {
+    auto perm = rng.permutation(side_size);
+    // Repair duplicates by random transpositions.
+    for (int rounds = 0; rounds < 64; ++rounds) {
+      bool clean = true;
+      for (NodeId i = 0; i < side_size; ++i) {
+        if (used.count({i, perm[i]})) {
+          const NodeId j = static_cast<NodeId>(rng.uniform(side_size));
+          std::swap(perm[i], perm[j]);
+          clean = false;
+        }
+      }
+      if (clean) break;
+    }
+    matchings[m].assign(perm.begin(), perm.end());
+    for (NodeId i = 0; i < side_size; ++i) used.insert({i, perm[i]});
+  }
+  RISE_CHECK_MSG(used.size() == static_cast<std::size_t>(side_size) * d,
+                 "matching repair failed; lower d or raise side_size");
+
+  // Mutable adjacency for pruning.
+  const NodeId n = 2 * side_size;
+  std::vector<std::set<NodeId>> adj(n);
+  for (NodeId m = 0; m < d; ++m) {
+    for (NodeId i = 0; i < side_size; ++i) {
+      adj[i].insert(side_size + matchings[m][i]);
+      adj[side_size + matchings[m][i]].insert(i);
+    }
+  }
+
+  // Destroy all cycles shorter than min_girth: BFS from each node up to
+  // depth min_girth/2; a non-tree edge closing a short cycle gets deleted.
+  const std::uint32_t depth_cap = min_girth / 2 + 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::uint32_t> dist(n);
+    std::vector<NodeId> parent(n);
+    for (NodeId r = 0; r < n && !changed; ++r) {
+      std::fill(dist.begin(), dist.end(), kUnreachable);
+      std::fill(parent.begin(), parent.end(), kInvalidNode);
+      dist[r] = 0;
+      std::deque<NodeId> queue{r};
+      while (!queue.empty() && !changed) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        if (dist[u] >= depth_cap) continue;
+        for (NodeId v : adj[u]) {
+          if (v == parent[u]) continue;
+          if (dist[v] == kUnreachable) {
+            dist[v] = dist[u] + 1;
+            parent[v] = u;
+            queue.push_back(v);
+          } else if (dist[u] + dist[v] + 1 < min_girth) {
+            adj[u].erase(v);
+            adj[v].erase(u);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < side_size; ++u) {
+    for (NodeId v : adj[u]) edges.push_back({u, v});
+  }
+  BipartiteGraph bg;
+  bg.left_size = side_size;
+  bg.right_size = side_size;
+  bg.graph = Graph::from_edges(n, std::move(edges));
+  return bg;
+}
+
+Graph connect_components_on_left(const BipartiteGraph& bg) {
+  const Graph& g = bg.graph;
+  // Find one left-side representative per component.
+  std::vector<std::uint32_t> comp(g.num_nodes(), kUnreachable);
+  std::uint32_t next = 0;
+  std::vector<NodeId> reps;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != kUnreachable) continue;
+    NodeId rep = kInvalidNode;
+    std::deque<NodeId> queue{s};
+    comp[s] = next;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      if (u < bg.left_size && rep == kInvalidNode) rep = u;
+      for (NodeId v : g.neighbors(u)) {
+        if (comp[v] == kUnreachable) {
+          comp[v] = next;
+          queue.push_back(v);
+        }
+      }
+    }
+    RISE_CHECK_MSG(rep != kInvalidNode,
+                   "component without a left-side node cannot be patched");
+    reps.push_back(rep);
+    ++next;
+  }
+  auto edges = g.edges();
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    edges.push_back({reps[0], reps[i]});
+  }
+  return Graph::from_edges(g.num_nodes(), std::move(edges));
+}
+
+}  // namespace rise::graph

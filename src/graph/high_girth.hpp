@@ -1,0 +1,62 @@
+// High-girth regular bipartite graphs.
+//
+// The Theorem-2 lower-bound family G_k needs an n^{1/k}-regular bipartite
+// graph H on n+n nodes with girth >= k+5 and Omega(n^{1+1/k}) edges. The
+// paper cites the algebraic family D(k, q) of Lazebnik, Ustimenko and Woldar
+// ("A new series of dense graphs of high girth", 1995); we implement that
+// construction in full over prime fields:
+//
+//   * Points and lines are vectors in F_q^k; the first coordinate is free.
+//   * A point (p) and line [l] are incident iff the first k-1 relations of
+//       l_{11} - p_{11} = l_1 p_1
+//       l_{12} - p_{12} = l_{11} p_1
+//       l_{21} - p_{21} = l_1 p_{11}
+//       l_{ii} - p_{ii} = l_1 p_{i-1,i}          (i >= 2)
+//       l'_{ii} - p'_{ii} = l_{i,i-1} p_1
+//       l_{i,i+1} - p_{i,i+1} = l_{ii} p_1
+//       l_{i+1,i} - p_{i+1,i} = l_1 p'_{ii}
+//     hold, which makes the graph q-regular (given p and l_1, the remaining
+//     line coordinates are determined).
+//   * girth(D(k,q)) >= k+5 for odd k >= 3 — verified by tests.
+//
+// D(k,q) is disconnected for k >= 6 (the components are the graphs CD(k,q));
+// the paper's footnote 6 notes this is immaterial for the lower bound. For
+// workloads that need connectivity we optionally add a minimal set of
+// left-left patch edges between components.
+//
+// For side sizes that are not exact prime powers we also provide a pruned
+// random-regular construction: sample a d-regular bipartite graph as a union
+// of d repaired random matchings and delete one edge from every cycle
+// shorter than the girth target. For d <= n^{1/k} only o(1)-fraction of the
+// edges is lost in expectation, preserving the Omega(n^{1+1/k}) edge count.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rise::graph {
+
+struct BipartiteGraph {
+  Graph graph;      // left nodes are 0..left_size-1, right nodes follow
+  NodeId left_size = 0;
+  NodeId right_size = 0;
+};
+
+/// The algebraic graph D(k, q) for odd k >= 3 and prime q: q^k points,
+/// q^k lines, q-regular, girth >= k+5.
+BipartiteGraph lazebnik_ustimenko_d(unsigned k, std::uint64_t q);
+
+/// Random d-regular bipartite graph on side_size+side_size nodes, with every
+/// cycle shorter than min_girth destroyed by deleting one of its edges.
+/// The result is *approximately* d-regular (degrees in [d - pruned, d]).
+BipartiteGraph pruned_high_girth_bipartite(NodeId side_size, NodeId d,
+                                           std::uint32_t min_girth, Rng& rng);
+
+/// Adds a minimal number of edges between left-side nodes of different
+/// connected components so that the graph becomes connected (the patching
+/// suggested by the paper's footnote 6). Returns the patched graph.
+Graph connect_components_on_left(const BipartiteGraph& bg);
+
+}  // namespace rise::graph

@@ -1,0 +1,85 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace rise::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# rise edge list\n";
+  os << "n " << g.num_nodes() << "\n";
+  for (const Edge& e : g.edges()) {
+    os << e.u << " " << e.v << "\n";
+  }
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+Graph read_edge_list(std::istream& is) {
+  NodeId n = 0;
+  bool have_n = false;
+  std::vector<Edge> edges;
+  NodeId max_seen = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank line
+    if (first == "n") {
+      std::uint64_t count = 0;
+      RISE_CHECK_MSG(static_cast<bool>(ls >> count),
+                     "line " << line_no << ": malformed node-count header");
+      n = static_cast<NodeId>(count);
+      have_n = true;
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    std::istringstream pair(line);
+    RISE_CHECK_MSG(static_cast<bool>(pair >> u >> v),
+                   "line " << line_no << ": expected 'u v'");
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    max_seen = std::max({max_seen, static_cast<NodeId>(u),
+                         static_cast<NodeId>(v)});
+  }
+  if (!have_n) n = edges.empty() ? 0 : max_seen + 1;
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<NodeId>& highlight) {
+  os << "graph G {\n";
+  os << "  node [shape=circle];\n";
+  for (NodeId u : highlight) {
+    os << "  " << u << " [style=filled, fillcolor=gold];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Graph& g, const std::vector<NodeId>& highlight) {
+  std::ostringstream os;
+  write_dot(os, g, highlight);
+  return os.str();
+}
+
+}  // namespace rise::graph

@@ -1,0 +1,30 @@
+// Plain-text graph interchange: whitespace edge lists and Graphviz DOT.
+//
+// Downstream users bring their own topologies; these functions are the
+// library's import/export boundary. The edge-list dialect is one
+// "u v" pair per line, '#' comments, and an optional "n <count>" header for
+// graphs with isolated nodes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rise::graph {
+
+/// Serializes as an edge list ("n <count>" header + one edge per line).
+void write_edge_list(std::ostream& os, const Graph& g);
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list dialect; throws CheckError on malformed input.
+Graph read_edge_list(std::istream& is);
+Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT (undirected). `highlight` nodes are filled — handy for
+/// visualizing awake sets.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<NodeId>& highlight = {});
+std::string to_dot(const Graph& g, const std::vector<NodeId>& highlight = {});
+
+}  // namespace rise::graph

@@ -1,0 +1,83 @@
+#include "graph/spanner.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace rise::graph {
+
+namespace {
+
+/// Depth-bounded BFS over a mutable adjacency structure: returns true iff
+/// dist(source, target) <= limit.
+bool within_distance(const std::vector<std::vector<NodeId>>& adj,
+                     NodeId source, NodeId target, std::uint32_t limit,
+                     std::vector<std::uint32_t>& dist,
+                     std::uint32_t generation) {
+  // `dist` doubles as a visited stamp: dist[u] values from earlier calls are
+  // invalidated by bumping `generation` (encoded in the high bits).
+  if (source == target) return true;
+  std::deque<NodeId> queue{source};
+  dist[source] = generation;  // depth 0
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const std::uint32_t du = dist[u] - generation;
+    if (du >= limit) continue;
+    for (NodeId v : adj[u]) {
+      if (dist[v] >= generation) continue;  // already visited this round
+      if (v == target) return true;
+      dist[v] = generation + du + 1;
+      queue.push_back(v);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph greedy_spanner(const Graph& g, unsigned k) {
+  RISE_CHECK(k >= 1);
+  if (k == 1) return g;
+  const std::uint32_t stretch = 2 * k - 1;
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<NodeId>> adj(n);
+  std::vector<Edge> kept;
+  std::vector<std::uint32_t> dist(n, 0);
+  std::uint32_t generation = 0;
+  for (const Edge& e : g.edges()) {
+    generation += stretch + 2;  // invalidate previous stamps
+    if (!within_distance(adj, e.u, e.v, stretch, dist, generation)) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+      kept.push_back(e);
+    }
+  }
+  return Graph::from_edges(n, std::move(kept));
+}
+
+bool verify_spanner(const Graph& g, const Graph& spanner, unsigned stretch) {
+  if (spanner.num_nodes() != g.num_nodes()) return false;
+  for (const Edge& e : spanner.edges()) {
+    if (!g.has_edge(e.u, e.v)) return false;
+  }
+  // It suffices to check stretch on the edges of g.
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : spanner.edges()) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<std::uint32_t> dist(n, 0);
+  std::uint32_t generation = 0;
+  for (const Edge& e : g.edges()) {
+    generation += stretch + 2;
+    if (!within_distance(adj, e.u, e.v, stretch, dist, generation)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rise::graph

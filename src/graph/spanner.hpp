@@ -1,0 +1,26 @@
+// Multiplicative graph spanners.
+//
+// Theorem 6 of the paper encodes "the edges of a suitable graph spanner" as
+// advice: a (2k-1)-spanner has O(n^{1+1/k}) edges, and flooding restricted to
+// spanner edges multiplies the wake-up time by at most the stretch while
+// cutting messages from Theta(m) to O(n^{1+1/k}).
+//
+// We implement the classic greedy spanner (Althöfer, Das, Dobkin, Joseph,
+// Soares 1993): process edges in order and keep an edge only if the current
+// spanner distance between its endpoints exceeds 2k-1. The result is a
+// (2k-1)-spanner with at most n^{1+1/k} + n edges (its girth exceeds 2k).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace rise::graph {
+
+/// Greedy (2k-1)-spanner. k >= 1; k = 1 returns the graph itself.
+Graph greedy_spanner(const Graph& g, unsigned k);
+
+/// True iff `spanner` is a subgraph of `g` spanning the same node set with
+/// dist_spanner(u, v) <= stretch * dist_g(u, v) for every edge {u,v} of g
+/// (which implies the bound for all pairs).
+bool verify_spanner(const Graph& g, const Graph& spanner, unsigned stretch);
+
+}  // namespace rise::graph

@@ -1,0 +1,60 @@
+// Discrete-event simulator for the asynchronous message-passing model.
+//
+// Semantics (Sec. 1.1–1.2 of the paper):
+//   * Channels are error-free, bidirectional and FIFO; the engine clamps
+//     per-directed-channel delivery times to be monotone so FIFO holds for
+//     any delay policy.
+//   * Message delays are chosen by an oblivious DelayPolicy with maximum
+//     delay tau; one time unit = tau ticks.
+//   * The adversary wakes nodes per a WakeSchedule; a message delivered to a
+//     sleeping node wakes it and is processed upon awakening.
+//   * Local computation is instantaneous: a callback may send any number of
+//     messages at the current tick.
+//
+// The engine is deterministic given (instance, delay policy, schedule, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/delay_policy.hpp"
+#include "sim/instance.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+#include "sim/adversary.hpp"
+#include "sim/trace.hpp"
+
+namespace rise::sim {
+
+struct RunLimits {
+  std::uint64_t max_events = 200'000'000;  ///< hard safety cap; exceeded => throws
+  Time max_time = kNever;                  ///< stop scheduling past this tick
+};
+
+class AsyncEngine {
+ public:
+  /// `seed` drives the per-node private randomness streams.
+  AsyncEngine(const Instance& instance, const DelayPolicy& delays,
+              WakeSchedule schedule, std::uint64_t seed);
+
+  RunResult run(const ProcessFactory& factory, const RunLimits& limits = {});
+
+  /// Attach an observer receiving every send/deliver/wake event. Observation
+  /// never perturbs the run. Must outlive run().
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
+ private:
+  TraceSink* trace_ = nullptr;
+  const Instance& instance_;
+  const DelayPolicy& delays_;
+  WakeSchedule schedule_;
+  std::uint64_t seed_;
+};
+
+/// One-call convenience: build the engine and run.
+RunResult run_async(const Instance& instance, const DelayPolicy& delays,
+                    const WakeSchedule& schedule, std::uint64_t seed,
+                    const ProcessFactory& factory,
+                    const RunLimits& limits = {},
+                    TraceSink* trace = nullptr);
+
+}  // namespace rise::sim

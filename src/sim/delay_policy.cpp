@@ -1,0 +1,107 @@
+#include "sim/delay_policy.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rise::sim {
+
+namespace {
+
+std::uint64_t channel_hash(std::uint64_t seed, NodeId from, NodeId to,
+                           std::uint64_t msg_index) {
+  std::uint64_t s = seed;
+  s ^= splitmix64(s) ^ (static_cast<std::uint64_t>(from) << 32 | to);
+  s ^= splitmix64(s) ^ msg_index;
+  return splitmix64(s);
+}
+
+class UnitDelay final : public DelayPolicy {
+ public:
+  Time max_delay() const override { return 1; }
+  Time delay(NodeId, NodeId, std::uint64_t, Time) const override { return 1; }
+};
+
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(Time tau) : tau_(tau) { RISE_CHECK(tau >= 1); }
+  Time max_delay() const override { return tau_; }
+  Time delay(NodeId, NodeId, std::uint64_t, Time) const override {
+    return tau_;
+  }
+
+ private:
+  Time tau_;
+};
+
+class RandomDelay final : public DelayPolicy {
+ public:
+  RandomDelay(Time tau, std::uint64_t seed) : tau_(tau), seed_(seed) {
+    RISE_CHECK(tau >= 1);
+  }
+  Time max_delay() const override { return tau_; }
+  Time delay(NodeId from, NodeId to, std::uint64_t msg_index,
+             Time) const override {
+    return 1 + channel_hash(seed_, from, to, msg_index) % tau_;
+  }
+
+ private:
+  Time tau_;
+  std::uint64_t seed_;
+};
+
+class SlowChannels final : public DelayPolicy {
+ public:
+  SlowChannels(Time tau, std::uint64_t slow_one_in, std::uint64_t seed)
+      : tau_(tau), slow_one_in_(slow_one_in), seed_(seed) {
+    RISE_CHECK(tau >= 1);
+    RISE_CHECK(slow_one_in >= 1);
+  }
+  Time max_delay() const override { return tau_; }
+  Time delay(NodeId from, NodeId to, std::uint64_t, Time) const override {
+    // Channel-level decision only (index ignored): the whole link is slow.
+    return channel_hash(seed_, from, to, 0) % slow_one_in_ == 0 ? tau_ : 1;
+  }
+
+ private:
+  Time tau_;
+  std::uint64_t slow_one_in_;
+  std::uint64_t seed_;
+};
+
+class CongestionDelay final : public DelayPolicy {
+ public:
+  explicit CongestionDelay(Time tau) : tau_(tau) { RISE_CHECK(tau >= 1); }
+  Time max_delay() const override { return tau_; }
+  Time delay(NodeId, NodeId, std::uint64_t msg_index, Time) const override {
+    return std::min<Time>(tau_, 1 + msg_index);
+  }
+
+ private:
+  Time tau_;
+};
+
+}  // namespace
+
+std::unique_ptr<DelayPolicy> unit_delay() {
+  return std::make_unique<UnitDelay>();
+}
+
+std::unique_ptr<DelayPolicy> fixed_delay(Time tau) {
+  return std::make_unique<FixedDelay>(tau);
+}
+
+std::unique_ptr<DelayPolicy> random_delay(Time tau, std::uint64_t seed) {
+  return std::make_unique<RandomDelay>(tau, seed);
+}
+
+std::unique_ptr<DelayPolicy> slow_channels_delay(Time tau,
+                                                 std::uint64_t slow_one_in,
+                                                 std::uint64_t seed) {
+  return std::make_unique<SlowChannels>(tau, slow_one_in, seed);
+}
+
+std::unique_ptr<DelayPolicy> congestion_delay(Time tau) {
+  return std::make_unique<CongestionDelay>(tau);
+}
+
+}  // namespace rise::sim

@@ -1,0 +1,53 @@
+// Oblivious adversarial message-delay policies.
+//
+// The paper's adversary controls message delays but is *oblivious*: it must
+// fix delays without observing node state or random bits (Sec. 1.1). We model
+// this by making every policy a pure function of (channel, message index on
+// that channel, send time, policy seed) — never of message content. The
+// asynchronous engine additionally clamps delivery times to be monotone per
+// directed channel so that links are FIFO, per the model.
+//
+// tau = max_delay() defines the length of one time unit (Sec. 1.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hpp"
+
+namespace rise::sim {
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Upper bound tau >= 1 on any delay this policy returns.
+  virtual Time max_delay() const = 0;
+
+  /// Delay (in [1, max_delay()]) of the msg_index-th message sent over the
+  /// directed channel from -> to at time send_time.
+  virtual Time delay(NodeId from, NodeId to, std::uint64_t msg_index,
+                     Time send_time) const = 0;
+};
+
+/// Every message takes exactly 1 tick (the synchronous-like schedule).
+std::unique_ptr<DelayPolicy> unit_delay();
+
+/// Every message takes exactly tau ticks.
+std::unique_ptr<DelayPolicy> fixed_delay(Time tau);
+
+/// Uniform pseudo-random delay in [1, tau], a deterministic hash of
+/// (seed, channel, index) — oblivious and reproducible.
+std::unique_ptr<DelayPolicy> random_delay(Time tau, std::uint64_t seed);
+
+/// A fixed pseudo-random subset of channels (one in `slow_one_in`) always
+/// takes tau; all other messages take 1 tick. Models a few congested links.
+std::unique_ptr<DelayPolicy> slow_channels_delay(Time tau,
+                                                 std::uint64_t slow_one_in,
+                                                 std::uint64_t seed);
+
+/// Delay grows with the per-channel message index (stale channels are fast,
+/// busy channels are slow) — an adversary that penalizes chatty algorithms.
+std::unique_ptr<DelayPolicy> congestion_delay(Time tau);
+
+}  // namespace rise::sim

@@ -1,0 +1,139 @@
+#include "sim/instance.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace rise::sim {
+
+Instance Instance::create(graph::Graph g, const InstanceOptions& options,
+                          Rng& rng) {
+  Instance inst;
+  inst.graph_ = std::move(g);
+  inst.options_ = options;
+  const NodeId n = inst.graph_.num_nodes();
+  RISE_CHECK(options.label_range_factor >= 1);
+
+  // Adversarial label assignment: a permutation of a poly(n) range.
+  const std::uint64_t range = static_cast<std::uint64_t>(n) *
+                              options.label_range_factor;
+  inst.label_bits_ = std::max(1u, bit_width_for(range + 1));
+  inst.labels_.resize(n);
+  if (!options.forced_labels.empty()) {
+    RISE_CHECK_MSG(options.forced_labels.size() == n,
+                   "forced_labels must have one entry per node");
+    for (NodeId u = 0; u < n; ++u) {
+      const Label l = options.forced_labels[u];
+      RISE_CHECK_MSG(l >= 1 && l <= range, "forced label out of range");
+      inst.labels_[u] = l;
+    }
+  } else if (options.random_labels && n > 0) {
+    // Sample n distinct values from [1, range] via a partial Fisher-Yates
+    // over the first n slots of the range permutation.
+    std::vector<std::uint64_t> pool(range);
+    std::iota(pool.begin(), pool.end(), std::uint64_t{1});
+    for (NodeId i = 0; i < n; ++i) {
+      const std::uint64_t j =
+          i + rng.uniform(range - i);
+      std::swap(pool[i], pool[j]);
+      inst.labels_[i] = pool[i];
+    }
+  } else {
+    for (NodeId u = 0; u < n; ++u) inst.labels_[u] = u + 1;
+  }
+  for (NodeId u = 0; u < n; ++u) inst.label_index_[inst.labels_[u]] = u;
+  RISE_CHECK_MSG(inst.label_index_.size() == n, "node labels must be distinct");
+
+  // Adversarial port mappings.
+  inst.port_to_slot_.resize(n);
+  inst.slot_to_port_.resize(n);
+  inst.neighbor_labels_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto deg = inst.graph_.degree(u);
+    if (options.random_ports) {
+      inst.port_to_slot_[u] = rng.permutation(deg);
+    } else {
+      inst.port_to_slot_[u].resize(deg);
+      std::iota(inst.port_to_slot_[u].begin(), inst.port_to_slot_[u].end(), 0u);
+    }
+    inst.slot_to_port_[u].assign(deg, kInvalidPort);
+    for (Port p = 0; p < deg; ++p) {
+      inst.slot_to_port_[u][inst.port_to_slot_[u][p]] = p;
+    }
+    inst.neighbor_labels_[u].resize(deg);
+    const auto nb = inst.graph_.neighbors(u);
+    for (Port p = 0; p < deg; ++p) {
+      inst.neighbor_labels_[u][p] = inst.labels_[nb[inst.port_to_slot_[u][p]]];
+    }
+  }
+  return inst;
+}
+
+Instance Instance::with_swapped_labels(NodeId a, NodeId b) const {
+  RISE_CHECK(a < num_nodes() && b < num_nodes());
+  Instance copy = *this;
+  std::swap(copy.labels_[a], copy.labels_[b]);
+  copy.label_index_[copy.labels_[a]] = a;
+  copy.label_index_[copy.labels_[b]] = b;
+  for (NodeId u = 0; u < copy.num_nodes(); ++u) {
+    const auto nb = copy.graph_.neighbors(u);
+    for (Port p = 0; p < copy.graph_.degree(u); ++p) {
+      copy.neighbor_labels_[u][p] = copy.labels_[nb[copy.port_to_slot_[u][p]]];
+    }
+  }
+  return copy;
+}
+
+NodeId Instance::node_of_label(Label l) const {
+  const auto it = label_index_.find(l);
+  RISE_CHECK_MSG(it != label_index_.end(), "unknown label " << l);
+  return it->second;
+}
+
+NodeId Instance::port_to_neighbor(NodeId u, Port p) const {
+  RISE_CHECK_MSG(u < num_nodes() && p < graph_.degree(u),
+                 "bad port " << p << " at node " << u);
+  return graph_.neighbors(u)[port_to_slot_[u][p]];
+}
+
+Port Instance::neighbor_to_port(NodeId u, NodeId v) const {
+  const auto slot = graph_.neighbor_slot(u, v);
+  RISE_CHECK_MSG(slot.has_value(), "nodes " << u << " and " << v
+                                            << " are not adjacent");
+  return slot_to_port_[u][*slot];
+}
+
+std::span<const Label> Instance::neighbor_labels_by_port(NodeId u) const {
+  RISE_CHECK(u < num_nodes());
+  return neighbor_labels_[u];
+}
+
+std::uint64_t Instance::congest_bit_budget() const {
+  return static_cast<std::uint64_t>(options_.congest_factor) * label_bits_;
+}
+
+void Instance::set_advice(std::vector<BitString> advice) {
+  RISE_CHECK_MSG(advice.size() == num_nodes(),
+                 "advice vector must have one entry per node");
+  advice_ = std::move(advice);
+}
+
+const BitString& Instance::advice(NodeId u) const {
+  RISE_CHECK(u < num_nodes());
+  if (advice_.empty()) return empty_advice_;
+  return advice_[u];
+}
+
+Instance::AdviceStats Instance::advice_stats() const {
+  AdviceStats stats;
+  if (advice_.empty()) return stats;
+  for (const auto& a : advice_) {
+    stats.max_bits = std::max(stats.max_bits, a.size());
+    stats.total_bits += a.size();
+  }
+  stats.avg_bits = static_cast<double>(stats.total_bits) /
+                   static_cast<double>(advice_.size());
+  return stats;
+}
+
+}  // namespace rise::sim

@@ -1,0 +1,106 @@
+// A concrete problem instance: graph topology + adversary-chosen node IDs
+// ("labels") + adversary-chosen KT0 port mappings + model flags + optional
+// per-node advice.
+//
+// The paper's adversary "determines the network topology, the node IDs, and
+// [under KT0] each individual node's port mapping" (Sec. 1.1); this class is
+// exactly that choice, fixed before the execution starts.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "support/bitio.hpp"
+#include "support/rng.hpp"
+
+namespace rise::sim {
+
+struct InstanceOptions {
+  Knowledge knowledge = Knowledge::KT1;
+  Bandwidth bandwidth = Bandwidth::LOCAL;
+
+  /// Labels are a permutation of {1, ..., label_range_factor * n}; must be
+  /// >= 1. With random_labels = false, node u simply gets label u + 1.
+  std::uint32_t label_range_factor = 4;
+  bool random_labels = true;
+
+  /// With random_ports = true (the KT0 adversary's prerogative) each node's
+  /// port->link mapping is an independent uniform permutation; otherwise
+  /// port i is the i-th neighbor in ascending node order.
+  bool random_ports = true;
+
+  /// CONGEST budget multiplier: messages may carry at most
+  /// congest_factor * ceil(log2(label_range)) bits.
+  std::uint32_t congest_factor = 8;
+
+  /// When non-empty, these exact labels are used (size must equal n; values
+  /// must be distinct and in [1, label_range_factor * n]). Used by the
+  /// lower-bound swap experiments, which need fine control over IDs.
+  std::vector<Label> forced_labels;
+};
+
+class Instance {
+ public:
+  /// rng drives the adversary's label and port choices.
+  static Instance create(graph::Graph g, const InstanceOptions& options,
+                         Rng& rng);
+
+  const graph::Graph& graph() const { return graph_; }
+  Knowledge knowledge() const { return options_.knowledge; }
+  Bandwidth bandwidth() const { return options_.bandwidth; }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+
+  Label label(NodeId u) const { return labels_[u]; }
+  NodeId node_of_label(Label l) const;
+
+  /// The neighbor reached through port p of node u.
+  NodeId port_to_neighbor(NodeId u, Port p) const;
+
+  /// port^{-1}_u(v): the port at u whose link leads to neighbor v.
+  Port neighbor_to_port(NodeId u, NodeId v) const;
+
+  /// Neighbor labels of u indexed by *port* (KT1 initial knowledge).
+  std::span<const Label> neighbor_labels_by_port(NodeId u) const;
+
+  /// Maximum message size in bits permitted under CONGEST.
+  std::uint64_t congest_bit_budget() const;
+
+  /// Bits sufficient to encode any label (the "O(log n)" unit).
+  unsigned label_bits() const { return label_bits_; }
+
+  /// A copy of this instance with the labels of nodes a and b exchanged and
+  /// every other adversary choice (ports, options) identical — the
+  /// configuration swap at the heart of the Theorem-2 lower bound.
+  Instance with_swapped_labels(NodeId a, NodeId b) const;
+
+  void set_advice(std::vector<BitString> advice);
+  bool has_advice() const { return !advice_.empty(); }
+  const BitString& advice(NodeId u) const;
+
+  /// Advice length statistics (Table 1's "Advice" column).
+  struct AdviceStats {
+    std::size_t max_bits = 0;
+    std::size_t total_bits = 0;
+    double avg_bits = 0.0;
+  };
+  AdviceStats advice_stats() const;
+
+ private:
+  graph::Graph graph_;
+  InstanceOptions options_;
+  std::vector<Label> labels_;
+  std::unordered_map<Label, NodeId> label_index_;
+  // Per node: port -> adjacency slot permutation and its inverse.
+  std::vector<std::vector<std::uint32_t>> port_to_slot_;
+  std::vector<std::vector<Port>> slot_to_port_;
+  std::vector<std::vector<Label>> neighbor_labels_;  // by port
+  unsigned label_bits_ = 0;
+  std::vector<BitString> advice_;
+  BitString empty_advice_;
+};
+
+}  // namespace rise::sim

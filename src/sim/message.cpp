@@ -1,0 +1,14 @@
+#include "sim/message.hpp"
+
+namespace rise::sim {
+
+Message make_message(std::uint32_t type, std::vector<std::uint64_t> payload,
+                     std::uint64_t bits) {
+  Message m;
+  m.type = type;
+  m.payload = std::move(payload);
+  m.declared_bits = bits;
+  return m;
+}
+
+}  // namespace rise::sim

@@ -1,0 +1,39 @@
+// Messages exchanged by processes.
+//
+// A message is an algorithm-defined type tag plus a payload of 64-bit words.
+// Each message also carries a *logical bit size* used for CONGEST accounting:
+// algorithms state how many bits their message would occupy on the wire
+// (e.g. a node ID costs O(log n) bits even though we store it in a uint64).
+// If no explicit size is given, a conservative default of
+// 8 + 64 * payload_words bits is charged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace rise::sim {
+
+struct Message {
+  std::uint32_t type = 0;
+  std::vector<std::uint64_t> payload;
+  std::uint64_t declared_bits = 0;  // 0 => use the conservative default
+
+  std::uint64_t logical_bits() const {
+    return declared_bits != 0 ? declared_bits
+                              : 8 + 64 * static_cast<std::uint64_t>(payload.size());
+  }
+};
+
+/// Convenience factory with an explicit logical size.
+Message make_message(std::uint32_t type, std::vector<std::uint64_t> payload,
+                     std::uint64_t bits);
+
+/// A delivered message as seen by the receiving process.
+struct Incoming {
+  Port port = kInvalidPort;  ///< the receiver's port the message arrived on
+  Message msg;
+};
+
+}  // namespace rise::sim

@@ -1,0 +1,50 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace rise::sim {
+
+double Metrics::time_units() const {
+  if (first_wake == kNever) return 0.0;
+  const Time last = std::max(last_delivery, last_wake);
+  if (last <= first_wake) return 0.0;
+  return static_cast<double>(last - first_wake) / static_cast<double>(tau);
+}
+
+std::uint32_t Metrics::max_sent_per_node() const {
+  if (sent_per_node.empty()) return 0;
+  return *std::max_element(sent_per_node.begin(), sent_per_node.end());
+}
+
+bool RunResult::all_awake() const {
+  return std::all_of(wake_time.begin(), wake_time.end(),
+                     [](Time t) { return t != kNever; });
+}
+
+NodeId RunResult::awake_count() const {
+  return static_cast<NodeId>(
+      std::count_if(wake_time.begin(), wake_time.end(),
+                    [](Time t) { return t != kNever; }));
+}
+
+std::uint64_t RunResult::awake_node_ticks() const {
+  const Time last = std::max(metrics.last_delivery, metrics.last_wake);
+  std::uint64_t total = 0;
+  for (Time t : wake_time) {
+    if (t != kNever && t < last) total += last - t;
+  }
+  return total;
+}
+
+Time RunResult::wakeup_span() const {
+  if (wake_time.empty()) return 0;
+  Time lo = kNever, hi = 0;
+  for (Time t : wake_time) {
+    if (t == kNever) return kNever;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return hi - lo;
+}
+
+}  // namespace rise::sim

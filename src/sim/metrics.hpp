@@ -1,0 +1,52 @@
+// Run metrics: the paper's three complexity measures (time, messages,
+// advice) plus auxiliary counters used by tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace rise::sim {
+
+struct Metrics {
+  std::uint64_t messages = 0;    ///< total messages sent
+  std::uint64_t bits = 0;        ///< total logical bits sent
+  std::uint64_t deliveries = 0;  ///< messages delivered (== sent at the end)
+  std::uint64_t events = 0;      ///< engine events processed
+
+  Time first_wake = kNever;
+  Time last_wake = 0;
+  Time last_delivery = 0;
+  Time tau = 1;             ///< max message delay (defines the time unit)
+  std::uint64_t rounds = 0; ///< synchronous engine: rounds executed
+
+  std::vector<std::uint32_t> sent_per_node;
+  std::vector<std::uint32_t> received_per_node;
+
+  /// Sec. 1.2 time complexity: ticks from the first wake-up to the last
+  /// event, normalized by tau.
+  double time_units() const;
+
+  std::uint32_t max_sent_per_node() const;
+};
+
+struct RunResult {
+  Metrics metrics;
+  std::vector<Time> wake_time;          ///< kNever where still asleep
+  std::vector<std::uint64_t> outputs;   ///< kNoOutput where unset
+
+  bool all_awake() const;
+  NodeId awake_count() const;
+
+  /// max over nodes of (wake_time - first_wake); kNever if some node slept.
+  Time wakeup_span() const;
+
+  /// Total node-ticks spent awake up to the last event — a proxy for the
+  /// energy consumption the paper's introduction motivates (Wake-on-LAN
+  /// exists so that nodes can sleep): sum over woken nodes of
+  /// (last_event_time - wake_time).
+  std::uint64_t awake_node_ticks() const;
+};
+
+}  // namespace rise::sim

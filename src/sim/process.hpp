@@ -1,0 +1,109 @@
+// The distributed-algorithm programming model.
+//
+// A Process is the per-node algorithm instance. The engine calls
+//   * on_wake     — exactly once, when the node transitions from asleep to
+//                   awake (either by the adversary or by a first message);
+//   * on_message  — (asynchronous engine) for every delivered message;
+//   * on_round    — (synchronous engine) once per round for every node that
+//                   has work: a non-empty inbox, a fresh wake-up, or a
+//                   requested tick. The default implementation forwards each
+//                   inbox message to on_message, so message-driven algorithms
+//                   run unchanged under both engines.
+//
+// The Context exposes exactly the knowledge the model grants: the node's own
+// ID, its degree and ports, its neighbors' IDs only under KT1, its advice
+// string, private randomness, and (synchronous engine only) the node's
+// *local* round counter — there is no global clock (paper footnote 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "sim/instance.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+#include "support/bitio.hpp"
+#include "support/rng.hpp"
+
+namespace rise::sim {
+
+inline constexpr std::uint64_t kNoOutput = static_cast<std::uint64_t>(-1);
+
+/// Why a node woke up. A real node observes this: an adversary-woken node
+/// starts with no pending message, while a message-woken node's first action
+/// is processing that message. Several of the paper's algorithms branch on it
+/// (e.g. only adversary-woken nodes start a DFS token in Theorem 3).
+enum class WakeCause : std::uint8_t { kAdversary, kMessage };
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// The node's protocol-visible ID.
+  virtual Label my_label() const = 0;
+
+  virtual NodeId degree() const = 0;
+  virtual Knowledge knowledge() const = 0;
+  virtual Bandwidth bandwidth() const = 0;
+
+  /// Bits sufficient to encode any ID — the nodes' "constant-factor upper
+  /// bound on log n" from Sec. 1.1.
+  virtual unsigned label_bits() const = 0;
+
+  /// A polynomial upper bound on n derived from the ID range.
+  virtual std::uint64_t n_upper_bound() const = 0;
+
+  /// KT1 only: neighbor IDs indexed by port. Calling this under KT0 is a
+  /// model violation and throws.
+  virtual std::span<const Label> neighbor_labels() const = 0;
+
+  /// Sends over a port (both KT0 and KT1).
+  virtual void send(Port p, Message msg) = 0;
+
+  /// KT1 convenience: send to the neighbor with the given ID.
+  virtual void send_to_label(Label neighbor, Message msg) = 0;
+
+  /// Sends a copy of msg over every incident port.
+  void broadcast(const Message& msg) {
+    for (Port p = 0; p < degree(); ++p) send(p, msg);
+  }
+
+  /// Current time (ticks in async; round number in sync).
+  virtual Time now() const = 0;
+
+  /// Synchronous engine: rounds elapsed since this node woke (1 in the wake
+  /// round). Asynchronous engine: 0.
+  virtual std::uint64_t local_round() const = 0;
+
+  /// Synchronous engine: ask to be stepped again next round even without
+  /// incoming messages (used by algorithms with internal countdowns).
+  virtual void request_tick() = 0;
+
+  /// Private unbiased randomness (deterministic per run seed and node).
+  virtual Rng& rng() = 0;
+
+  /// The node's advice string (empty when the instance has no oracle).
+  virtual const BitString& advice() const = 0;
+
+  /// Records this node's output value (used by the NIH problem).
+  virtual void set_output(std::uint64_t value) = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void on_wake(Context& ctx, WakeCause cause) = 0;
+  virtual void on_message(Context& ctx, const Incoming& in) = 0;
+
+  virtual void on_round(Context& ctx, std::span<const Incoming> inbox) {
+    for (const Incoming& in : inbox) on_message(ctx, in);
+  }
+};
+
+/// Creates the per-node process; called once per node before the run.
+using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
+
+}  // namespace rise::sim

@@ -1,0 +1,52 @@
+// Lock-step synchronous engine.
+//
+// Semantics (Sec. 3.2 of the paper): computation proceeds in rounds; every
+// message sent in round r is delivered at the start of round r+1. The
+// adversary wakes nodes at round boundaries; a message delivered to a
+// sleeping node wakes it. Nodes have NO global clock — a process only sees
+// its local round counter (rounds since its own wake-up), per footnote 4.
+//
+// A node is stepped (on_round) in a round iff it has a non-empty inbox, it
+// just woke up, or it called Context::request_tick() in the previous round;
+// quiescence (no inbox, no pending wakes, no tick requests) terminates the
+// run. This keeps simulated complexity proportional to actual activity.
+#pragma once
+
+#include "sim/adversary.hpp"
+#include "sim/instance.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+#include "sim/trace.hpp"
+
+namespace rise::sim {
+
+struct SyncRunLimits {
+  std::uint64_t max_rounds = 10'000'000;
+  std::uint64_t max_messages = 500'000'000;
+};
+
+class SyncEngine {
+ public:
+  /// Wake times in the schedule are interpreted as round numbers.
+  SyncEngine(const Instance& instance, WakeSchedule schedule,
+             std::uint64_t seed);
+
+  RunResult run(const ProcessFactory& factory,
+                const SyncRunLimits& limits = {});
+
+  /// Attach an observer receiving every send/deliver/wake event.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
+ private:
+  TraceSink* trace_ = nullptr;
+  const Instance& instance_;
+  WakeSchedule schedule_;
+  std::uint64_t seed_;
+};
+
+RunResult run_sync(const Instance& instance, const WakeSchedule& schedule,
+                   std::uint64_t seed, const ProcessFactory& factory,
+                   const SyncRunLimits& limits = {},
+                   TraceSink* trace = nullptr);
+
+}  // namespace rise::sim

@@ -1,0 +1,45 @@
+// Shared simulator types: logical time, ports, labels.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace rise::sim {
+
+using graph::NodeId;
+using graph::kInvalidNode;
+
+/// Logical time in integer ticks. The asynchronous engine normalizes time
+/// complexity by the delay policy's maximum delay tau, exactly as the paper's
+/// Section 1.2 defines time units. The synchronous engine counts rounds.
+using Time = std::uint64_t;
+
+inline constexpr Time kNever = static_cast<Time>(-1);
+
+/// A 0-based port number at a node; ports 0..deg(u)-1 address u's incident
+/// links. (The paper is 1-based; the shift is cosmetic.)
+using Port = std::uint32_t;
+
+inline constexpr Port kInvalidPort = static_cast<Port>(-1);
+
+/// A protocol-visible node identifier ("id(u)" in the paper) — chosen by the
+/// adversary from a range polynomial in n. Distinct from the internal dense
+/// NodeId index.
+using Label = std::uint64_t;
+
+inline constexpr Label kInvalidLabel = static_cast<Label>(-1);
+
+/// Initial-knowledge assumption (Sec. 1.1).
+enum class Knowledge {
+  KT0,  ///< port numbering only; neighbor identities unknown
+  KT1,  ///< every node knows its neighbors' IDs from the start
+};
+
+/// Message-size regime (Sec. 1.1).
+enum class Bandwidth {
+  LOCAL,    ///< unbounded message size
+  CONGEST,  ///< O(log n) bits per message (engine-enforced budget)
+};
+
+}  // namespace rise::sim

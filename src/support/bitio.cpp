@@ -1,0 +1,95 @@
+#include "support/bitio.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace rise {
+
+BitString::BitString(std::size_t size_bits)
+    : words_((size_bits + 63) / 64, 0), size_(size_bits) {}
+
+bool BitString::get(std::size_t i) const {
+  RISE_DCHECK(i < size_);
+  return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+void BitString::set(std::size_t i, bool value) {
+  RISE_DCHECK(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+void BitString::push_back(bool value) {
+  if (size_ % 64 == 0) words_.push_back(0);
+  ++size_;
+  set(size_ - 1, value);
+}
+
+void BitString::append_bits(std::uint64_t value, unsigned width) {
+  RISE_DCHECK(width <= 64);
+  for (unsigned b = 0; b < width; ++b) {
+    push_back((value >> b) & 1u);
+  }
+}
+
+std::uint64_t BitString::read_bits(std::size_t pos, unsigned width) const {
+  RISE_DCHECK(width <= 64);
+  RISE_CHECK_MSG(pos + width <= size_,
+                 "bit read past end: pos=" << pos << " width=" << width
+                                           << " size=" << size_);
+  std::uint64_t out = 0;
+  for (unsigned b = 0; b < width; ++b) {
+    if (get(pos + b)) out |= std::uint64_t{1} << b;
+  }
+  return out;
+}
+
+bool BitString::operator==(const BitString& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i) != other.get(i)) return false;
+  }
+  return true;
+}
+
+void BitWriter::write_gamma(std::uint64_t value) {
+  RISE_CHECK(value < ~std::uint64_t{0});
+  const std::uint64_t v = value + 1;
+  const unsigned len = static_cast<unsigned>(std::bit_width(v));
+  // len-1 zeros, then the len bits of v starting from the MSB.
+  for (unsigned i = 0; i + 1 < len; ++i) write_bit(false);
+  for (unsigned i = len; i-- > 0;) write_bit((v >> i) & 1u);
+}
+
+bool BitReader::read_bit() {
+  RISE_CHECK_MSG(pos_ < bits_->size(), "bit read past end of advice");
+  return bits_->get(pos_++);
+}
+
+std::uint64_t BitReader::read_bits(unsigned width) {
+  const std::uint64_t out = bits_->read_bits(pos_, width);
+  pos_ += width;
+  return out;
+}
+
+std::uint64_t BitReader::read_gamma() {
+  unsigned zeros = 0;
+  while (!read_bit()) ++zeros;
+  std::uint64_t v = 1;
+  for (unsigned i = 0; i < zeros; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(read_bit());
+  }
+  return v - 1;
+}
+
+unsigned bit_width_for(std::uint64_t n) {
+  if (n <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+}  // namespace rise

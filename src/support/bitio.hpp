@@ -1,0 +1,92 @@
+// Bit-exact strings and streaming readers/writers.
+//
+// The paper measures advice length in *bits* (Table 1 reports maximum and
+// average advice per node), so advising schemes encode their advice through
+// this module rather than through byte-oriented containers. BitWriter /
+// BitReader provide fixed-width fields plus Elias-gamma coded unsigned
+// integers for self-delimiting variable-length values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rise {
+
+/// A dynamically sized string of bits. Bit i of word w is bit (w*64 + i) of
+/// the string; only the low `size_ % 64` bits of the last word are meaningful.
+class BitString {
+ public:
+  BitString() = default;
+  explicit BitString(std::size_t size_bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+
+  /// Appends a single bit.
+  void push_back(bool value);
+
+  /// Appends the `width` low-order bits of `value`, LSB first.
+  void append_bits(std::uint64_t value, unsigned width);
+
+  /// Reads `width` bits starting at `pos`, LSB first.
+  std::uint64_t read_bits(std::size_t pos, unsigned width) const;
+
+  bool operator==(const BitString& other) const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Streaming writer over a BitString.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  void write_bit(bool value) { bits_.push_back(value); }
+  void write_bits(std::uint64_t value, unsigned width) {
+    bits_.append_bits(value, width);
+  }
+
+  /// Elias-gamma code for value >= 0 (encodes value + 1 internally so that 0
+  /// is representable). Uses 2*floor(log2(value+1)) + 1 bits.
+  void write_gamma(std::uint64_t value);
+
+  std::size_t size() const { return bits_.size(); }
+  const BitString& bits() const { return bits_; }
+  BitString take() { return std::move(bits_); }
+
+ private:
+  BitString bits_;
+};
+
+/// Streaming reader over a BitString.
+class BitReader {
+ public:
+  explicit BitReader(const BitString& bits) : bits_(&bits) {}
+
+  bool read_bit();
+  std::uint64_t read_bits(unsigned width);
+  std::uint64_t read_gamma();
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return bits_->size() - pos_; }
+  bool exhausted() const { return pos_ >= bits_->size(); }
+
+ private:
+  const BitString* bits_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to represent values in [0, n) — i.e. ceil(log2(n)),
+/// with bit_width_for(0) == bit_width_for(1) == 0... returns at least 1 for
+/// n >= 2 and 0 for n <= 1.
+unsigned bit_width_for(std::uint64_t n);
+
+}  // namespace rise

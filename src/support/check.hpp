@@ -1,0 +1,56 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// RISE_CHECK is always on (simulation correctness matters more than the last
+// few percent of speed); RISE_DCHECK compiles out in release builds with
+// NDEBUG. Both throw rise::CheckError so tests can assert on violations
+// instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rise {
+
+/// Thrown when a RISE_CHECK / RISE_DCHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace rise
+
+#define RISE_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::rise::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define RISE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream rise_check_os_;                              \
+      rise_check_os_ << msg;                                          \
+      ::rise::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                   rise_check_os_.str());             \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define RISE_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define RISE_DCHECK(cond) RISE_CHECK(cond)
+#endif

@@ -1,0 +1,124 @@
+#include "support/math.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace rise {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  RISE_CHECK(m > 0);
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1u) result = mulmod(result, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin bases covering all 64-bit integers.
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  RISE_CHECK(n >= 2);
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
+std::uint64_t prev_prime(std::uint64_t n) {
+  RISE_CHECK(n >= 2);
+  while (!is_prime(n)) --n;
+  return n;
+}
+
+Fq::Fq(std::uint64_t value, std::uint64_t q) : v_(value % q), q_(q) {
+  RISE_DCHECK(q >= 2);
+}
+
+Fq Fq::operator+(const Fq& o) const {
+  RISE_DCHECK(q_ == o.q_);
+  std::uint64_t s = v_ + o.v_;
+  if (s >= q_) s -= q_;
+  return Fq(s, q_);
+}
+
+Fq Fq::operator-(const Fq& o) const {
+  RISE_DCHECK(q_ == o.q_);
+  return Fq(v_ >= o.v_ ? v_ - o.v_ : v_ + q_ - o.v_, q_);
+}
+
+Fq Fq::operator*(const Fq& o) const {
+  RISE_DCHECK(q_ == o.q_);
+  return Fq(mulmod(v_, o.v_, q_), q_);
+}
+
+Fq Fq::operator-() const { return Fq(v_ == 0 ? 0 : q_ - v_, q_); }
+
+bool Fq::operator==(const Fq& o) const { return v_ == o.v_ && q_ == o.q_; }
+
+unsigned ceil_log_natural(std::uint64_t n) {
+  RISE_CHECK(n >= 1);
+  if (n == 1) return 0;
+  return static_cast<unsigned>(std::ceil(std::log(static_cast<double>(n))));
+}
+
+unsigned floor_log2(std::uint64_t n) {
+  RISE_CHECK(n >= 1);
+  return static_cast<unsigned>(std::bit_width(n) - 1);
+}
+
+std::uint64_t iroot(std::uint64_t n, unsigned k) {
+  RISE_CHECK(k >= 1);
+  if (k == 1 || n <= 1) return n;
+  auto pow_le = [&](std::uint64_t r) {
+    // Returns true if r^k <= n, guarding against overflow.
+    unsigned __int128 acc = 1;
+    for (unsigned i = 0; i < k; ++i) {
+      acc *= r;
+      if (acc > n) return false;
+    }
+    return true;
+  };
+  std::uint64_t r = static_cast<std::uint64_t>(
+      std::pow(static_cast<double>(n), 1.0 / static_cast<double>(k)));
+  while (r > 0 && !pow_le(r)) --r;
+  while (pow_le(r + 1)) ++r;
+  return r;
+}
+
+}  // namespace rise

@@ -1,0 +1,59 @@
+// Small number-theory utilities and prime-field arithmetic.
+//
+// The Theorem-2 lower-bound family G_k is built from the algebraic
+// high-girth graphs D(k, q) of Lazebnik–Ustimenko–Woldar, whose adjacency
+// relations are systems of equations over the finite field F_q. We only need
+// prime q (the paper allows prime powers; primes suffice to realize every
+// instance size we simulate), so F_q is plain modular arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rise {
+
+/// Deterministic Miller–Rabin, exact for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n >= 2).
+std::uint64_t next_prime(std::uint64_t n);
+
+/// Largest prime <= n (n >= 2).
+std::uint64_t prev_prime(std::uint64_t n);
+
+/// (a * b) mod m without overflow.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// (a ^ e) mod m.
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m);
+
+/// Value in the prime field F_q. Arithmetic is checked to stay within one
+/// field (mixing moduli is a logic error).
+class Fq {
+ public:
+  Fq(std::uint64_t value, std::uint64_t q);
+
+  std::uint64_t value() const { return v_; }
+  std::uint64_t modulus() const { return q_; }
+
+  Fq operator+(const Fq& o) const;
+  Fq operator-(const Fq& o) const;
+  Fq operator*(const Fq& o) const;
+  Fq operator-() const;
+  bool operator==(const Fq& o) const;
+
+ private:
+  std::uint64_t v_;
+  std::uint64_t q_;
+};
+
+/// ceil(ln n), natural log, for n >= 1; used to size rank spaces etc.
+unsigned ceil_log_natural(std::uint64_t n);
+
+/// floor(log2 n) for n >= 1.
+unsigned floor_log2(std::uint64_t n);
+
+/// Integer k-th root: largest r with r^k <= n.
+std::uint64_t iroot(std::uint64_t n, unsigned k);
+
+}  // namespace rise

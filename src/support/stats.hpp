@@ -1,0 +1,32 @@
+// Small online statistics accumulator for repeated-trial experiments:
+// mean / stddev via Welford's algorithm plus exact min / max / median over
+// the retained samples. Benchmarks use it to report distributions over
+// seeds instead of single runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rise {
+
+class SampleStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact p-quantile (nearest-rank) of the retained samples, p in [0, 1].
+  double quantile(double p) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace rise

@@ -1,0 +1,148 @@
+// Advising-scheme robustness matrix: every scheme x every delay policy x
+// several wake schedules must (a) wake everyone, (b) keep its message bound
+// (message counts are schedule- and delay-independent properties of these
+// deterministic schemes), and (c) never exceed the CONGEST budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "advice/child_encoding.hpp"
+#include "advice/fip06.hpp"
+#include "advice/spanner_scheme.hpp"
+#include "advice/sqrt_threshold.hpp"
+#include "test_util.hpp"
+
+namespace rise {
+namespace {
+
+struct MatrixParam {
+  std::string scheme;
+  std::string delay;
+};
+
+class AdviceMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  advice::AdvisingScheme make_scheme() const {
+    const std::string& s = GetParam().scheme;
+    if (s == "fip06") return advice::fip06_scheme();
+    if (s == "sqrt") return advice::sqrt_threshold_scheme();
+    if (s == "cen") return advice::child_encoding_scheme();
+    if (s == "spanner2") return advice::spanner_scheme(2);
+    return advice::corollary2_scheme();
+  }
+
+  std::unique_ptr<sim::DelayPolicy> make_delay(std::uint64_t seed) const {
+    const std::string& d = GetParam().delay;
+    if (d == "unit") return sim::unit_delay();
+    if (d == "fixed") return sim::fixed_delay(5);
+    if (d == "random") return sim::random_delay(11, seed);
+    if (d == "slow") return sim::slow_channels_delay(40, 2, seed);
+    return sim::congestion_delay(9);
+  }
+};
+
+TEST_P(AdviceMatrix, WakesEveryoneUnderEveryAdversary) {
+  Rng wrng(7);
+  const auto g = graph::connected_gnp(90, 0.06, wrng);
+  const auto scheme = make_scheme();
+  auto inst = test::make_instance(g, sim::Knowledge::KT0,
+                                  sim::Bandwidth::CONGEST);
+  advice::apply_oracle(inst, *scheme.oracle);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng srng(seed);
+    const auto schedule = sim::wake_random_subset(90, 0.25, srng);
+    const auto delays = make_delay(seed * 31);
+    const auto result =
+        sim::run_async(inst, *delays, schedule, seed, scheme.algorithm);
+    EXPECT_TRUE(result.all_awake())
+        << GetParam().scheme << "/" << GetParam().delay << " seed " << seed;
+  }
+}
+
+TEST_P(AdviceMatrix, MessageCountIndependentOfDelays) {
+  // The schemes are deterministic and send a fixed set of messages per wake
+  // pattern, so the delay policy must not change the count.
+  Rng wrng(8);
+  const auto g = graph::connected_gnp(70, 0.08, wrng);
+  const auto scheme = make_scheme();
+  auto inst = test::make_instance(g, sim::Knowledge::KT0,
+                                  sim::Bandwidth::CONGEST);
+  advice::apply_oracle(inst, *scheme.oracle);
+  const auto schedule = sim::wake_set({0, 35, 69});
+  const auto unit = sim::unit_delay();
+  const auto baseline =
+      sim::run_async(inst, *unit, schedule, 1, scheme.algorithm);
+  const auto delays = make_delay(99);
+  const auto delayed =
+      sim::run_async(inst, *delays, schedule, 1, scheme.algorithm);
+  EXPECT_EQ(delayed.metrics.messages, baseline.metrics.messages)
+      << GetParam().scheme << "/" << GetParam().delay;
+}
+
+std::vector<MatrixParam> matrix_params() {
+  std::vector<MatrixParam> out;
+  for (const char* scheme : {"fip06", "sqrt", "cen", "spanner2", "cor2"}) {
+    for (const char* delay :
+         {"unit", "fixed", "random", "slow", "congestion"}) {
+      out.push_back({scheme, delay});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AdviceMatrix, ::testing::ValuesIn(matrix_params()),
+    [](const ::testing::TestParamInfo<MatrixParam>& param_info) {
+      return param_info.param.scheme + "_" + param_info.param.delay;
+    });
+
+TEST(AdviceRobustness, OracleIsIdempotent) {
+  Rng rng(9);
+  const auto g = graph::connected_gnp(50, 0.1, rng);
+  for (const char* name : {"fip06", "cen"}) {
+    auto scheme = std::string(name) == "fip06"
+                      ? advice::fip06_scheme()
+                      : advice::child_encoding_scheme();
+    auto i1 = test::make_instance(g, sim::Knowledge::KT0,
+                                  sim::Bandwidth::CONGEST, 4);
+    auto i2 = test::make_instance(g, sim::Knowledge::KT0,
+                                  sim::Bandwidth::CONGEST, 4);
+    const auto a1 = scheme.oracle->advise(i1);
+    const auto a2 = scheme.oracle->advise(i2);
+    ASSERT_EQ(a1.size(), a2.size()) << name;
+    for (std::size_t u = 0; u < a1.size(); ++u) {
+      EXPECT_EQ(a1[u], a2[u]) << name << " node " << u;
+    }
+  }
+}
+
+TEST(AdviceRobustness, AdviceIsPortMappingSensitive) {
+  // The KT0 oracle encodes ports; a different adversarial port permutation
+  // must generally yield different advice but identical guarantees.
+  Rng rng(10);
+  const auto g = graph::connected_gnp(60, 0.1, rng);
+  auto i1 = test::make_instance(g, sim::Knowledge::KT0,
+                                sim::Bandwidth::CONGEST, 1);
+  auto i2 = test::make_instance(g, sim::Knowledge::KT0,
+                                sim::Bandwidth::CONGEST, 2);
+  const auto scheme = advice::child_encoding_scheme();
+  const auto a1 = scheme.oracle->advise(i1);
+  const auto a2 = scheme.oracle->advise(i2);
+  bool any_different = false;
+  for (std::size_t u = 0; u < a1.size(); ++u) {
+    if (!(a1[u] == a2[u])) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+  // Both instances still wake fully.
+  i1.set_advice(scheme.oracle->advise(i1));
+  i2.set_advice(scheme.oracle->advise(i2));
+  for (auto* inst : {&i1, &i2}) {
+    const auto result = test::run_async_unit(*inst, sim::wake_single(0),
+                                             advice::child_encoding_factory());
+    EXPECT_TRUE(result.all_awake());
+  }
+}
+
+}  // namespace
+}  // namespace rise

@@ -1,0 +1,137 @@
+// Degenerate-size sweep: every algorithm must behave on the tiniest legal
+// networks (one node, one edge, tiny stars/triangles), where most index
+// arithmetic and "first/next neighbor" logic is at its most fragile.
+#include <gtest/gtest.h>
+
+#include "advice/child_encoding.hpp"
+#include "advice/fip06.hpp"
+#include "advice/spanner_scheme.hpp"
+#include "advice/sqrt_threshold.hpp"
+#include "algo/fast_wakeup.hpp"
+#include "algo/flooding.hpp"
+#include "algo/ranked_dfs.hpp"
+#include "algo/ranked_dfs_congest.hpp"
+#include "test_util.hpp"
+
+namespace rise {
+namespace {
+
+using sim::Knowledge;
+
+std::vector<test::NamedGraph> tiny_graphs() {
+  std::vector<test::NamedGraph> out;
+  out.push_back({"single_node", graph::Graph::from_edges(1, {})});
+  out.push_back({"one_edge", graph::path(2)});
+  out.push_back({"path_3", graph::path(3)});
+  out.push_back({"triangle", graph::cycle(3)});
+  out.push_back({"star_4", graph::star(4)});
+  return out;
+}
+
+TEST(Degenerate, FloodingOnTinyGraphs) {
+  for (const auto& [name, g] : tiny_graphs()) {
+    const auto inst = test::make_instance(g, Knowledge::KT0);
+    const auto result =
+        test::run_async_unit(inst, sim::wake_single(0), algo::flooding_factory());
+    EXPECT_TRUE(result.all_awake()) << name;
+  }
+}
+
+TEST(Degenerate, RankedDfsOnTinyGraphs) {
+  for (const auto& [name, g] : tiny_graphs()) {
+    const auto inst = test::make_instance(g, Knowledge::KT1);
+    const auto result = test::run_async_unit(inst, sim::wake_single(0),
+                                             algo::ranked_dfs_factory());
+    EXPECT_TRUE(result.all_awake()) << name;
+    const auto congest_inst =
+        test::make_instance(g, Knowledge::KT1, sim::Bandwidth::CONGEST);
+    const auto cresult = test::run_async_unit(
+        congest_inst, sim::wake_single(0), algo::ranked_dfs_congest_factory());
+    EXPECT_TRUE(cresult.all_awake()) << name;
+  }
+}
+
+TEST(Degenerate, LeaderElectionOnTinyGraphs) {
+  for (const auto& [name, g] : tiny_graphs()) {
+    const auto inst = test::make_instance(g, Knowledge::KT1);
+    const auto result = test::run_async_unit(
+        inst, sim::wake_all(g.num_nodes()), algo::ranked_dfs_leader_factory());
+    ASSERT_TRUE(result.all_awake()) << name;
+    for (auto out : result.outputs) {
+      EXPECT_EQ(out, result.outputs[0]) << name;
+      EXPECT_NE(out, sim::kNoOutput) << name;
+    }
+  }
+}
+
+TEST(Degenerate, FastWakeupOnTinyGraphs) {
+  for (const auto& [name, g] : tiny_graphs()) {
+    const auto inst = test::make_instance(g, Knowledge::KT1);
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      const auto result =
+          sim::run_sync(inst, sim::wake_single(0), seed,
+                        algo::fast_wakeup_factory());
+      EXPECT_TRUE(result.all_awake()) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Degenerate, AdviceSchemesOnTinyGraphs) {
+  for (const auto& [name, g] : tiny_graphs()) {
+    struct S {
+      const char* name;
+      advice::AdvisingScheme scheme;
+    };
+    std::vector<S> schemes;
+    schemes.push_back({"fip06", advice::fip06_scheme()});
+    schemes.push_back({"sqrt", advice::sqrt_threshold_scheme()});
+    schemes.push_back({"cen", advice::child_encoding_scheme()});
+    schemes.push_back({"spanner2", advice::spanner_scheme(2)});
+    for (auto& [sname, scheme] : schemes) {
+      auto inst =
+          test::make_instance(g, Knowledge::KT0, sim::Bandwidth::CONGEST);
+      advice::apply_oracle(inst, *scheme.oracle);
+      const auto result =
+          test::run_async_unit(inst, sim::wake_single(0), scheme.algorithm);
+      EXPECT_TRUE(result.all_awake()) << name << "/" << sname;
+    }
+  }
+}
+
+TEST(Degenerate, SingleNodeSendsNothing) {
+  const auto g = graph::Graph::from_edges(1, {});
+  const auto inst = test::make_instance(g, Knowledge::KT1);
+  for (const auto& factory :
+       {algo::flooding_factory(), algo::ranked_dfs_factory()}) {
+    const auto result =
+        test::run_async_unit(inst, sim::wake_single(0), factory);
+    EXPECT_TRUE(result.all_awake());
+    EXPECT_EQ(result.metrics.messages, 0u);
+  }
+}
+
+TEST(Degenerate, EmptyScheduleWakesNobody) {
+  const auto g = graph::path(4);
+  const auto inst = test::make_instance(g, Knowledge::KT0);
+  const auto result = test::run_async_unit(inst, sim::WakeSchedule{},
+                                           algo::flooding_factory());
+  EXPECT_EQ(result.awake_count(), 0u);
+  EXPECT_EQ(result.metrics.messages, 0u);
+}
+
+TEST(Degenerate, AdversaryOnlyWakesDisconnectedPieces) {
+  // Two components: flooding wakes one; the adversary must handle the other.
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto inst = test::make_instance(g, Knowledge::KT0);
+  sim::WakeSchedule schedule;
+  schedule.wakes = {{0, 0}, {7, 2}};
+  const auto result =
+      test::run_async_unit(inst, schedule, algo::flooding_factory());
+  EXPECT_TRUE(result.all_awake());
+  EXPECT_EQ(result.wake_time[1], 1u);
+  EXPECT_EQ(result.wake_time[2], 7u);
+  EXPECT_EQ(result.wake_time[3], 8u);
+}
+
+}  // namespace
+}  // namespace rise

@@ -1,0 +1,69 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace rise::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, NeighborsSortedAndSlots) {
+  const Graph g = Graph::from_edges(5, {{3, 1}, {3, 0}, {3, 4}, {3, 2}});
+  const auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 1u);
+  EXPECT_EQ(nb[2], 2u);
+  EXPECT_EQ(nb[3], 4u);
+  EXPECT_EQ(g.neighbor_slot(3, 2).value(), 2u);
+  EXPECT_EQ(g.neighbor_slot(3, 4).value(), 3u);
+  EXPECT_FALSE(g.neighbor_slot(0, 1).has_value());
+}
+
+TEST(Graph, EdgesNormalized) {
+  const Graph g = Graph::from_edges(4, {{2, 0}, {3, 1}});
+  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), CheckError);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {1, 0}}), CheckError);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), CheckError);
+}
+
+TEST(Graph, DegreeExtremes) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+}
+
+TEST(Graph, IsolatedNodeAllowed) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+}  // namespace
+}  // namespace rise::graph

@@ -1,0 +1,153 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace rise::graph {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = path(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+  EXPECT_EQ(diameter(g), 9u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle(8);
+  EXPECT_EQ(g.num_edges(), 8u);
+  for (NodeId u = 0; u < 8; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_EQ(girth(g), 8u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = star(12);
+  EXPECT_EQ(g.degree(0), 11u);
+  for (NodeId u = 1; u < 12; ++u) EXPECT_EQ(g.degree(u), 1u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = complete(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_EQ(diameter(g), 1u);
+  EXPECT_EQ(girth(g), 3u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 5);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 5u);
+  for (NodeId u = 3; u < 8; ++u) EXPECT_EQ(g.degree(u), 3u);
+  EXPECT_EQ(girth(g), 4u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = grid(4, 6);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.num_edges(), 4u * 5 + 6u * 3);
+  EXPECT_EQ(diameter(g), 8u);  // (4-1)+(6-1)
+}
+
+TEST(Generators, Torus) {
+  const Graph g = torus(4, 4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  for (NodeId u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_EQ(girth(g), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(5);
+  EXPECT_EQ(g.num_nodes(), 32u);
+  for (NodeId u = 0; u < 32; ++u) EXPECT_EQ(g.degree(u), 5u);
+  EXPECT_EQ(diameter(g), 5u);
+  EXPECT_EQ(girth(g), 4u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  for (NodeId n : {1u, 2u, 3u, 10u, 100u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n) - 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(girth(g), kUnreachable);  // acyclic
+  }
+}
+
+TEST(Generators, GnpDensityMatchesP) {
+  Rng rng(2);
+  const Graph g = gnp(100, 0.2, rng);
+  const double expected = 0.2 * (100.0 * 99 / 2);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 150);
+}
+
+TEST(Generators, ConnectedGnpIsConnected) {
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = connected_gnp(60, 0.02, rng);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomRegularIsRegular) {
+  Rng rng(4);
+  const Graph g = random_regular(50, 4, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  for (NodeId u = 0; u < 50; ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  Rng rng(5);
+  EXPECT_THROW(random_regular(5, 3, rng), CheckError);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = lollipop(6, 10);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(15), 1u);  // path tip
+  EXPECT_EQ(g.degree(0), 6u);   // clique node holding the path
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = barbell(5, 3);
+  EXPECT_EQ(g.num_nodes(), 13u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 3u + 2u + 1u);  // through the bridge, one hop into each clique... measured
+}
+
+TEST(Generators, BarabasiAlbertBasics) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 300u);
+  // Seed clique K_4 (6 edges) + 3 edges per subsequent node.
+  EXPECT_EQ(g.num_edges(), 6u + 296u * 3);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId u = 4; u < 300; ++u) EXPECT_GE(g.degree(u), 3u);
+}
+
+TEST(Generators, BarabasiAlbertIsHeavyTailed) {
+  Rng rng(8);
+  const Graph g = barabasi_albert(500, 2, rng);
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GE(g.max_degree(), 20u);
+}
+
+TEST(Generators, CompletePlusPendant) {
+  const Graph g = complete_plus_pendant(20);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.degree(19), 1u);
+  EXPECT_EQ(g.degree(0), 19u);  // clique + pendant
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+}  // namespace
+}  // namespace rise::graph

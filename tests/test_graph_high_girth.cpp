@@ -1,0 +1,87 @@
+#include "graph/high_girth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+
+namespace rise::graph {
+namespace {
+
+void expect_bipartite_regular(const BipartiteGraph& bg, NodeId d) {
+  const Graph& g = bg.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.degree(u), d) << "node " << u;
+    for (NodeId v : g.neighbors(u)) {
+      // Edges only cross the bipartition.
+      EXPECT_NE(u < bg.left_size, v < bg.left_size);
+    }
+  }
+}
+
+TEST(LazebnikUstimenko, D2qIsBiaffinePlane) {
+  // D(2, q) is the biaffine plane incidence graph: q-regular, girth 6.
+  for (std::uint64_t q : {3ULL, 5ULL}) {
+    const auto bg = lazebnik_ustimenko_d(2, q);
+    EXPECT_EQ(bg.left_size, q * q);
+    expect_bipartite_regular(bg, static_cast<NodeId>(q));
+    EXPECT_GE(girth(bg.graph), 6u);
+  }
+}
+
+TEST(LazebnikUstimenko, D3GirthAtLeast8) {
+  // Theorem-2 family needs girth >= k+5 = 8 for k = 3.
+  for (std::uint64_t q : {2ULL, 3ULL, 5ULL}) {
+    const auto bg = lazebnik_ustimenko_d(3, q);
+    EXPECT_EQ(bg.left_size, q * q * q);
+    expect_bipartite_regular(bg, static_cast<NodeId>(q));
+    EXPECT_GE(girth(bg.graph), 8u) << "q=" << q;
+  }
+}
+
+TEST(LazebnikUstimenko, D5GirthAtLeast10) {
+  const auto bg = lazebnik_ustimenko_d(5, 3);
+  EXPECT_EQ(bg.left_size, 243u);
+  expect_bipartite_regular(bg, 3);
+  EXPECT_GE(girth(bg.graph), 10u);
+}
+
+TEST(LazebnikUstimenko, EdgeCountIsQtoKplus1) {
+  const auto bg = lazebnik_ustimenko_d(3, 5);
+  EXPECT_EQ(bg.graph.num_edges(), 5ull * 5 * 5 * 5);
+}
+
+TEST(PrunedHighGirth, MeetsGirthTarget) {
+  Rng rng(77);
+  const auto bg = pruned_high_girth_bipartite(200, 4, 8, rng);
+  const auto gi = girth(bg.graph);
+  EXPECT_TRUE(gi == kUnreachable || gi >= 8u) << "girth " << gi;
+}
+
+TEST(PrunedHighGirth, LosesFewEdges) {
+  Rng rng(78);
+  const NodeId side = 300, d = 3;
+  const auto bg = pruned_high_girth_bipartite(side, d, 8, rng);
+  // Should keep the vast majority of side*d edges.
+  EXPECT_GE(bg.graph.num_edges(), static_cast<std::size_t>(side) * d * 8 / 10);
+  EXPECT_LE(bg.graph.num_edges(), static_cast<std::size_t>(side) * d);
+}
+
+TEST(PrunedHighGirth, StaysBipartite) {
+  Rng rng(79);
+  const auto bg = pruned_high_girth_bipartite(100, 5, 6, rng);
+  for (const Edge& e : bg.graph.edges()) {
+    EXPECT_LT(e.u, bg.left_size);
+    EXPECT_GE(e.v, bg.left_size);
+  }
+}
+
+TEST(ConnectComponents, PatchesDisconnectedFamily) {
+  const auto bg = lazebnik_ustimenko_d(3, 3);
+  const Graph patched = connect_components_on_left(bg);
+  EXPECT_TRUE(is_connected(patched));
+  EXPECT_GE(patched.num_edges(), bg.graph.num_edges());
+}
+
+}  // namespace
+}  // namespace rise::graph

@@ -1,0 +1,72 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace rise::graph {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Rng rng(1);
+  const Graph g = connected_gnp(40, 0.1, rng);
+  const Graph back = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, EdgeListPreservesIsolatedNodes) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  const Graph back = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(back.num_nodes(), 5u);
+  EXPECT_EQ(back.num_edges(), 1u);
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  const Graph g = from_edge_list(
+      "# a triangle\n"
+      "n 3\n"
+      "\n"
+      "0 1  # first edge\n"
+      "1 2\n"
+      "0 2\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphIo, InfersNodeCountWithoutHeader) {
+  const Graph g = from_edge_list("0 1\n1 4\n");
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(GraphIo, RejectsMalformedLines) {
+  EXPECT_THROW(from_edge_list("0\n"), CheckError);
+  EXPECT_THROW(from_edge_list("a b\n"), CheckError);
+  EXPECT_THROW(from_edge_list("n x\n"), CheckError);
+}
+
+TEST(GraphIo, RejectsSelfLoopThroughGraphChecks) {
+  EXPECT_THROW(from_edge_list("2 2\n"), CheckError);
+}
+
+TEST(GraphIo, DotContainsAllEdgesAndHighlights) {
+  const Graph g = path(3);
+  const std::string dot = to_dot(g, {1});
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_NE(dot.find("1 [style=filled"), std::string::npos);
+  EXPECT_EQ(dot.find("0 [style=filled"), std::string::npos);
+}
+
+TEST(GraphIo, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  const Graph back = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(back.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace rise::graph

@@ -1,0 +1,96 @@
+#include "graph/spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace rise::graph {
+namespace {
+
+TEST(Spanner, K1IsIdentity) {
+  const Graph g = complete(10);
+  const Graph s = greedy_spanner(g, 1);
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(Spanner, TreeIsItsOwnSpanner) {
+  Rng rng(1);
+  const Graph g = random_tree(50, rng);
+  const Graph s = greedy_spanner(g, 3);
+  EXPECT_EQ(s.num_edges(), g.num_edges());  // no edge is redundant in a tree
+}
+
+TEST(Spanner, CompleteGraphK2) {
+  // A 3-spanner of K_n: the greedy spanner has girth > 4, so it keeps
+  // far fewer than n^2 edges while preserving distances up to 3x.
+  const Graph g = complete(40);
+  const Graph s = greedy_spanner(g, 2);
+  EXPECT_LT(s.num_edges(), g.num_edges() / 3);
+  EXPECT_TRUE(verify_spanner(g, s, 3));
+}
+
+TEST(Spanner, StretchVerifiedAcrossWorkloads) {
+  Rng rng(2);
+  for (unsigned k : {2u, 3u, 4u}) {
+    const Graph g = connected_gnp(80, 0.15, rng);
+    const Graph s = greedy_spanner(g, k);
+    EXPECT_TRUE(verify_spanner(g, s, 2 * k - 1))
+        << "stretch violated for k=" << k;
+    EXPECT_TRUE(is_connected(s));
+  }
+}
+
+TEST(Spanner, GirthExceeds2k) {
+  // The defining property of the greedy spanner.
+  Rng rng(3);
+  const Graph g = connected_gnp(70, 0.2, rng);
+  for (unsigned k : {2u, 3u}) {
+    const Graph s = greedy_spanner(g, k);
+    const auto gi = girth(s);
+    EXPECT_TRUE(gi == kUnreachable || gi > 2 * k)
+        << "girth " << gi << " for k=" << k;
+  }
+}
+
+TEST(Spanner, EdgeCountBound) {
+  // |E(S)| <= n^{1+1/k} + n (girth argument).
+  Rng rng(4);
+  const Graph g = connected_gnp(100, 0.3, rng);
+  for (unsigned k : {2u, 3u, 4u}) {
+    const Graph s = greedy_spanner(g, k);
+    const double n = 100;
+    EXPECT_LE(static_cast<double>(s.num_edges()),
+              std::pow(n, 1.0 + 1.0 / k) + n);
+  }
+}
+
+TEST(Spanner, PreservesConnectivityOnSparseGraphs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = connected_gnp(60, 0.05, rng);
+    const Graph s = greedy_spanner(g, 5);
+    EXPECT_TRUE(is_connected(s));
+  }
+}
+
+TEST(VerifySpanner, RejectsNonSubgraph) {
+  const Graph g = path(4);
+  const Graph s = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 3}});  // 0-3 not in g
+  EXPECT_FALSE(verify_spanner(g, s, 3));
+}
+
+TEST(VerifySpanner, RejectsExcessiveStretch) {
+  const Graph g = cycle(12);
+  // Remove one edge: stretch for that edge becomes 11.
+  std::vector<Edge> edges = g.edges();
+  edges.pop_back();
+  const Graph s = Graph::from_edges(12, std::move(edges));
+  EXPECT_FALSE(verify_spanner(g, s, 3));
+  EXPECT_TRUE(verify_spanner(g, s, 11));
+}
+
+}  // namespace
+}  // namespace rise::graph

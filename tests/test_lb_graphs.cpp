@@ -1,0 +1,108 @@
+#include "lb/lower_bound_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace rise::lb {
+namespace {
+
+TEST(Kt0Family, Structure) {
+  const auto fam = make_kt0_family(10);
+  const auto& g = fam.graph;
+  EXPECT_EQ(g.num_nodes(), 30u);
+  // Centers have degree n+1 (n U-nodes + 1 W-node).
+  for (graph::NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(g.degree(fam.center(i)), 11u);
+    EXPECT_EQ(g.degree(fam.u_node(i)), 10u);
+    EXPECT_EQ(g.degree(fam.w_node(i)), 1u);
+    EXPECT_TRUE(g.has_edge(fam.center(i), fam.w_node(i)));
+  }
+  // W nodes are matched exclusively to their center.
+  for (graph::NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(g.neighbors(fam.w_node(i))[0], fam.center(i));
+  }
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Kt0Family, CentersAwakeScheduleGivesRho1) {
+  const auto fam = make_kt0_family(8);
+  const auto schedule = fam.centers_awake();
+  EXPECT_EQ(schedule.wakes.size(), 8u);
+  EXPECT_EQ(sim::schedule_awake_distance(fam.graph, schedule), 1u);
+}
+
+TEST(Kt0Instance, RandomPortsFixedLabels) {
+  Rng rng(1);
+  const auto fam = make_kt0_family(12);
+  const auto inst = make_kt0_instance(fam, rng);
+  EXPECT_EQ(inst.knowledge(), sim::Knowledge::KT0);
+  for (graph::NodeId u = 0; u < 36; ++u) {
+    EXPECT_EQ(inst.label(u), u + 1);  // fixed IDs
+  }
+}
+
+TEST(Kt0Instance, MatchingPortIsUniformish) {
+  // Across many random instances the matching port at a center should be
+  // spread over [0, deg).
+  const auto fam = make_kt0_family(16);
+  std::vector<int> counts(17, 0);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const auto inst = make_kt0_instance(fam, rng);
+    ++counts[inst.neighbor_to_port(fam.center(0), fam.w_node(0))];
+  }
+  int nonzero = 0;
+  for (int c : counts) nonzero += (c > 0);
+  EXPECT_GE(nonzero, 10);  // many distinct ports observed
+}
+
+TEST(Kt1Family, StructureAndGirth) {
+  const auto fam = make_kt1_family(3, 3);  // n = 27 per group
+  EXPECT_EQ(fam.family.n, 27u);
+  const auto& g = fam.family.graph;
+  EXPECT_EQ(g.num_nodes(), 81u);
+  for (graph::NodeId i = 0; i < 27; ++i) {
+    EXPECT_EQ(g.degree(fam.family.center(i)), fam.center_degree);
+    EXPECT_EQ(g.degree(fam.family.w_node(i)), 1u);
+  }
+  // The matching edges do not create cycles, so the girth >= k+5 carries
+  // over from D(k, q).
+  EXPECT_GE(graph::girth(g), 8u);
+}
+
+TEST(Kt1Family, EdgeCountSuperlinear) {
+  const auto fam = make_kt1_family(3, 5);  // n = 125
+  const double n = fam.family.n;
+  // m ~ n^{1+1/k} + n = n*q + n.
+  EXPECT_EQ(fam.family.graph.num_edges(),
+            static_cast<std::size_t>(n) * 5 + static_cast<std::size_t>(n));
+}
+
+TEST(Kt1Instance, CenterIdsFixedOthersPermuted) {
+  Rng rng(2);
+  const auto fam = make_kt1_family(3, 3);
+  const auto inst = make_kt1_instance(fam.family, rng);
+  const auto n = fam.family.n;
+  for (graph::NodeId i = 0; i < n; ++i) {
+    EXPECT_EQ(inst.label(fam.family.center(i)),
+              2ull * n + i + 1);  // fixed center IDs
+    EXPECT_LE(inst.label(fam.family.u_node(i)), 2ull * n);
+    EXPECT_LE(inst.label(fam.family.w_node(i)), 2ull * n);
+  }
+}
+
+TEST(Kt1Instance, PermutationVariesWithSeed) {
+  const auto fam = make_kt1_family(3, 3);
+  Rng r1(10), r2(20);
+  const auto i1 = make_kt1_instance(fam.family, r1);
+  const auto i2 = make_kt1_instance(fam.family, r2);
+  bool differs = false;
+  for (graph::NodeId i = 0; i < fam.family.n; ++i) {
+    differs |= i1.label(fam.family.u_node(i)) != i2.label(fam.family.u_node(i));
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace rise::lb

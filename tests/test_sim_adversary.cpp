@@ -1,0 +1,88 @@
+#include "sim/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace rise::sim {
+namespace {
+
+TEST(WakeSchedule, Builders) {
+  const auto all = wake_all(5);
+  EXPECT_EQ(all.wakes.size(), 5u);
+  EXPECT_EQ(all.earliest(), 0u);
+
+  const auto single = wake_single(3);
+  ASSERT_EQ(single.wakes.size(), 1u);
+  EXPECT_EQ(single.wakes[0].second, 3u);
+
+  const auto set = wake_set({1, 4});
+  EXPECT_EQ(set.nodes_at_time_zero().size(), 2u);
+}
+
+TEST(WakeSchedule, RandomSubsetNeverEmpty) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = wake_random_subset(10, 0.0, rng);
+    EXPECT_EQ(s.wakes.size(), 1u);  // fallback wakes node 0
+  }
+  const auto s = wake_random_subset(1000, 0.5, rng);
+  EXPECT_NEAR(static_cast<double>(s.wakes.size()), 500.0, 100.0);
+}
+
+TEST(WakeSchedule, StaggeredDoublingCoversAllNodes) {
+  Rng rng(2);
+  const auto s = staggered_doubling(100, 10, 2.0, rng);
+  std::set<graph::NodeId> nodes;
+  for (const auto& [t, u] : s.wakes) nodes.insert(u);
+  EXPECT_EQ(nodes.size(), 100u);
+  // Batches grow: first wake is alone at t=0.
+  EXPECT_EQ(s.earliest(), 0u);
+  std::size_t at_zero = s.nodes_at_time_zero().size();
+  EXPECT_EQ(at_zero, 1u);
+}
+
+TEST(WakeSchedule, StaggeredDoublingTimesAreSpaced) {
+  Rng rng(3);
+  const auto s = staggered_doubling(40, 7, 2.0, rng);
+  for (const auto& [t, u] : s.wakes) {
+    EXPECT_EQ(t % 7, 0u);
+  }
+}
+
+TEST(DominatingSet, CoversGraph) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::connected_gnp(60, 0.1, rng);
+    const auto s = dominating_set_wakeup(g);
+    const auto nodes = s.all_nodes();
+    // Every node is in the set or adjacent to it.
+    std::set<graph::NodeId> dom(nodes.begin(), nodes.end());
+    for (graph::NodeId u = 0; u < 60; ++u) {
+      bool covered = dom.count(u) > 0;
+      for (graph::NodeId v : g.neighbors(u)) covered |= dom.count(v) > 0;
+      EXPECT_TRUE(covered) << "node " << u;
+    }
+    EXPECT_LE(schedule_awake_distance(g, s), 1u);
+  }
+}
+
+TEST(DominatingSet, StarNeedsOnlyHub) {
+  const auto g = graph::star(30);
+  const auto s = dominating_set_wakeup(g);
+  EXPECT_EQ(s.wakes.size(), 1u);
+  EXPECT_EQ(s.wakes[0].second, 0u);
+}
+
+TEST(ScheduleAwakeDistance, MatchesGraphMetric) {
+  const auto g = graph::path(9);
+  EXPECT_EQ(schedule_awake_distance(g, wake_single(0)), 8u);
+  EXPECT_EQ(schedule_awake_distance(g, wake_single(4)), 4u);
+  EXPECT_EQ(schedule_awake_distance(g, wake_set({0, 8})), 4u);
+}
+
+}  // namespace
+}  // namespace rise::sim

@@ -1,0 +1,144 @@
+#include "sim/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "test_util.hpp"
+
+namespace rise::sim {
+namespace {
+
+TEST(Instance, LabelsAreDistinctAndInRange) {
+  Rng rng(1);
+  const auto g = graph::connected_gnp(50, 0.1, rng);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  std::set<Label> seen;
+  for (graph::NodeId u = 0; u < 50; ++u) {
+    const Label l = inst.label(u);
+    EXPECT_GE(l, 1u);
+    EXPECT_LE(l, 4u * 50);
+    seen.insert(l);
+    EXPECT_EQ(inst.node_of_label(l), u);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(Instance, PortMappingIsBijective) {
+  Rng rng(2);
+  const auto g = graph::connected_gnp(40, 0.15, rng);
+  const Instance inst = test::make_instance(g, Knowledge::KT0);
+  for (graph::NodeId u = 0; u < 40; ++u) {
+    std::set<graph::NodeId> seen;
+    for (Port p = 0; p < g.degree(u); ++p) {
+      seen.insert(inst.port_to_neighbor(u, p));
+    }
+    EXPECT_EQ(seen.size(), g.degree(u));
+  }
+}
+
+TEST(Instance, PortInverseIsConsistent) {
+  Rng rng(3);
+  const auto g = graph::connected_gnp(30, 0.2, rng);
+  const Instance inst = test::make_instance(g, Knowledge::KT0);
+  for (graph::NodeId u = 0; u < 30; ++u) {
+    for (Port p = 0; p < g.degree(u); ++p) {
+      const graph::NodeId v = inst.port_to_neighbor(u, p);
+      EXPECT_EQ(inst.neighbor_to_port(u, v), p);
+    }
+  }
+}
+
+TEST(Instance, NeighborLabelsByPortMatchTopology) {
+  Rng rng(4);
+  const auto g = graph::grid(5, 5);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto labels = inst.neighbor_labels_by_port(u);
+    ASSERT_EQ(labels.size(), g.degree(u));
+    for (Port p = 0; p < g.degree(u); ++p) {
+      EXPECT_EQ(labels[p], inst.label(inst.port_to_neighbor(u, p)));
+    }
+  }
+}
+
+TEST(Instance, RandomPortsDifferFromIdentity) {
+  // With a random permutation on a degree-24 node, identity is vanishingly
+  // unlikely.
+  Rng rng(5);
+  InstanceOptions opt;
+  opt.knowledge = Knowledge::KT0;
+  opt.random_ports = true;
+  const auto g = graph::complete(25);
+  const Instance inst = Instance::create(g, opt, rng);
+  bool any_shuffled = false;
+  for (Port p = 0; p < 24; ++p) {
+    if (inst.port_to_neighbor(0, p) != g.neighbors(0)[p]) any_shuffled = true;
+  }
+  EXPECT_TRUE(any_shuffled);
+}
+
+TEST(Instance, ForcedLabelsRespected) {
+  Rng rng(6);
+  InstanceOptions opt;
+  opt.label_range_factor = 2;
+  opt.forced_labels = {5, 1, 3};
+  const auto g = graph::path(3);
+  const Instance inst = Instance::create(g, opt, rng);
+  EXPECT_EQ(inst.label(0), 5u);
+  EXPECT_EQ(inst.label(1), 1u);
+  EXPECT_EQ(inst.label(2), 3u);
+}
+
+TEST(Instance, ForcedLabelsRejectDuplicates) {
+  Rng rng(7);
+  InstanceOptions opt;
+  opt.forced_labels = {2, 2, 3};
+  EXPECT_THROW(Instance::create(graph::path(3), opt, rng), CheckError);
+}
+
+TEST(Instance, SwappedLabelsInstance) {
+  Rng rng(8);
+  const auto g = graph::cycle(6);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const Instance swapped = inst.with_swapped_labels(1, 4);
+  EXPECT_EQ(swapped.label(1), inst.label(4));
+  EXPECT_EQ(swapped.label(4), inst.label(1));
+  EXPECT_EQ(swapped.label(0), inst.label(0));
+  // Neighbor label views are updated consistently.
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    const auto labels = swapped.neighbor_labels_by_port(u);
+    for (Port p = 0; p < g.degree(u); ++p) {
+      EXPECT_EQ(labels[p], swapped.label(swapped.port_to_neighbor(u, p)));
+    }
+  }
+}
+
+TEST(Instance, AdviceStats) {
+  Rng rng(9);
+  const auto g = graph::path(4);
+  Instance inst = test::make_instance(g, Knowledge::KT0);
+  EXPECT_FALSE(inst.has_advice());
+  EXPECT_TRUE(inst.advice(2).empty());
+  std::vector<BitString> advice(4);
+  advice[0].append_bits(0b101, 3);
+  advice[1].append_bits(0b1, 1);
+  inst.set_advice(std::move(advice));
+  const auto stats = inst.advice_stats();
+  EXPECT_EQ(stats.max_bits, 3u);
+  EXPECT_EQ(stats.total_bits, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_bits, 1.0);
+}
+
+TEST(Instance, CongestBudgetScalesWithLogN) {
+  Rng rng(10);
+  const Instance small = test::make_instance(graph::path(8), Knowledge::KT0);
+  const Instance large = test::make_instance(graph::path(1024), Knowledge::KT0);
+  EXPECT_LT(small.congest_bit_budget(), large.congest_bit_budget());
+  EXPECT_LE(large.congest_bit_budget(), 8u * 13);  // 8 * ceil(log2(4096+1))
+}
+
+}  // namespace
+}  // namespace rise::sim

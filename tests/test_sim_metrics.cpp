@@ -1,0 +1,87 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rise::sim {
+namespace {
+
+TEST(Metrics, TimeUnitsZeroWhenNothingHappened) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.time_units(), 0.0);
+}
+
+TEST(Metrics, TimeUnitsNormalizedByTau) {
+  Metrics m;
+  m.first_wake = 10;
+  m.last_delivery = 110;
+  m.tau = 4;
+  EXPECT_DOUBLE_EQ(m.time_units(), 25.0);
+}
+
+TEST(Metrics, TimeUnitsUsesLatestOfDeliveryAndWake) {
+  Metrics m;
+  m.first_wake = 0;
+  m.last_delivery = 30;
+  m.last_wake = 50;  // adversary woke someone after the last message
+  m.tau = 1;
+  EXPECT_DOUBLE_EQ(m.time_units(), 50.0);
+}
+
+TEST(Metrics, TimeUnitsClampedAtZeroForDegenerateSpans) {
+  Metrics m;
+  m.first_wake = 100;
+  m.last_delivery = 50;  // no deliveries after the first wake
+  m.last_wake = 100;
+  EXPECT_DOUBLE_EQ(m.time_units(), 0.0);
+}
+
+TEST(Metrics, MaxSentPerNode) {
+  Metrics m;
+  EXPECT_EQ(m.max_sent_per_node(), 0u);
+  m.sent_per_node = {3, 9, 1};
+  EXPECT_EQ(m.max_sent_per_node(), 9u);
+}
+
+TEST(RunResult, AllAwakeAndCounts) {
+  RunResult r;
+  r.wake_time = {0, 5, kNever};
+  EXPECT_FALSE(r.all_awake());
+  EXPECT_EQ(r.awake_count(), 2u);
+  r.wake_time[2] = 7;
+  EXPECT_TRUE(r.all_awake());
+  EXPECT_EQ(r.awake_count(), 3u);
+}
+
+TEST(RunResult, WakeupSpan) {
+  RunResult r;
+  r.wake_time = {10, 25, 13};
+  EXPECT_EQ(r.wakeup_span(), 15u);
+  r.wake_time.push_back(kNever);
+  EXPECT_EQ(r.wakeup_span(), kNever);  // someone never woke
+  r.wake_time.clear();
+  EXPECT_EQ(r.wakeup_span(), 0u);
+}
+
+TEST(RunResult, AwakeNodeTicksEnergyProxy) {
+  RunResult r;
+  r.wake_time = {0, 10, kNever};
+  r.metrics.last_delivery = 20;
+  r.metrics.last_wake = 10;
+  // Node 0 awake for 20 ticks, node 1 for 10, node 2 never woke.
+  EXPECT_EQ(r.awake_node_ticks(), 30u);
+}
+
+TEST(RunResult, AwakeNodeTicksZeroWhenNothingHappens) {
+  RunResult r;
+  r.wake_time = {kNever, kNever};
+  EXPECT_EQ(r.awake_node_ticks(), 0u);
+}
+
+TEST(RunResult, SingleNodeSpanIsZero) {
+  RunResult r;
+  r.wake_time = {42};
+  EXPECT_EQ(r.wakeup_span(), 0u);
+}
+
+}  // namespace
+}  // namespace rise::sim

@@ -1,0 +1,165 @@
+#include "sim/sync_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/flooding.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "test_util.hpp"
+
+namespace rise::sim {
+namespace {
+
+TEST(SyncEngine, FloodingAdvancesOneHopPerRound) {
+  const auto g = graph::path(6);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const auto result =
+      run_sync(inst, wake_single(0), 1, algo::flooding_factory());
+  EXPECT_TRUE(result.all_awake());
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(result.wake_time[u], u);  // delivered at start of round u
+  }
+}
+
+TEST(SyncEngine, LocalRoundCounterStartsAtOne) {
+  const auto g = graph::path(3);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  std::vector<std::uint64_t> observed;
+  const ProcessFactory probe = [&observed](graph::NodeId) {
+    class P final : public Process {
+     public:
+      explicit P(std::vector<std::uint64_t>* obs) : obs_(obs) {}
+      void on_wake(Context&, WakeCause) override {}
+      void on_message(Context&, const Incoming&) override {}
+      void on_round(Context& ctx, std::span<const Incoming>) override {
+        obs_->push_back(ctx.local_round());
+        if (ctx.local_round() < 3) ctx.request_tick();
+      }
+      std::vector<std::uint64_t>* obs_;
+    };
+    return std::make_unique<P>(&observed);
+  };
+  run_sync(inst, wake_single(1), 1, probe);
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_EQ(observed[0], 1u);
+  EXPECT_EQ(observed[1], 2u);
+  EXPECT_EQ(observed[2], 3u);
+}
+
+TEST(SyncEngine, NoGlobalClockForLateWakers) {
+  // A node woken at round 50 sees local_round 1.
+  const auto g = graph::Graph::from_edges(2, {{0, 1}});
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  std::vector<std::pair<graph::NodeId, std::uint64_t>> observed;
+  const ProcessFactory probe = [&observed](graph::NodeId node) {
+    class P final : public Process {
+     public:
+      P(std::vector<std::pair<graph::NodeId, std::uint64_t>>* obs,
+        graph::NodeId node)
+          : obs_(obs), node_(node) {}
+      void on_wake(Context&, WakeCause) override {}
+      void on_message(Context&, const Incoming&) override {}
+      void on_round(Context& ctx, std::span<const Incoming>) override {
+        obs_->push_back({node_, ctx.local_round()});
+      }
+      std::vector<std::pair<graph::NodeId, std::uint64_t>>* obs_;
+      graph::NodeId node_;
+    };
+    return std::make_unique<P>(&observed, node);
+  };
+  WakeSchedule schedule;
+  schedule.wakes = {{0, 0}, {50, 1}};
+  run_sync(inst, schedule, 1, probe);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], (std::pair<graph::NodeId, std::uint64_t>{0, 1}));
+  EXPECT_EQ(observed[1], (std::pair<graph::NodeId, std::uint64_t>{1, 1}));
+}
+
+TEST(SyncEngine, MessagesDeliveredNextRound) {
+  const auto g = graph::path(2);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const auto result =
+      run_sync(inst, wake_single(0), 1, algo::flooding_factory());
+  EXPECT_EQ(result.wake_time[1], 1u);
+  // Node 1's own broadcast echoes back to node 0 in round 2.
+  EXPECT_EQ(result.metrics.last_delivery, 2u);
+}
+
+TEST(SyncEngine, InboxBatchesAllSendersOfPreviousRound) {
+  const auto g = graph::star(5);  // hub 0
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  std::size_t hub_batch = 0;
+  const ProcessFactory probe = [&hub_batch](graph::NodeId node) {
+    class P final : public Process {
+     public:
+      P(std::size_t* batch, bool is_hub) : batch_(batch), is_hub_(is_hub) {}
+      void on_wake(Context& ctx, WakeCause cause) override {
+        if (!is_hub_ && cause == WakeCause::kAdversary) {
+          ctx.send(0, make_message(1, {}, 8));
+        }
+      }
+      void on_message(Context&, const Incoming&) override {}
+      void on_round(Context&, std::span<const Incoming> inbox) override {
+        if (is_hub_) *batch_ = inbox.size();
+      }
+      std::size_t* batch_;
+      bool is_hub_;
+    };
+    return std::make_unique<P>(&hub_batch, node == 0);
+  };
+  run_sync(inst, wake_set({1, 2, 3, 4}), 1, probe);
+  EXPECT_EQ(hub_batch, 4u);
+}
+
+TEST(SyncEngine, QuiescesWithoutTicksOrMessages) {
+  const auto g = graph::path(4);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const auto result =
+      run_sync(inst, wake_single(0), 1, algo::flooding_factory());
+  EXPECT_LE(result.metrics.rounds, 5u);  // 3 hops + final echo round
+}
+
+TEST(SyncEngine, FastForwardsIdleGaps) {
+  const auto g = graph::Graph::from_edges(2, {{0, 1}});
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  WakeSchedule schedule;
+  schedule.wakes = {{0, 0}, {1'000'000, 1}};
+  SyncRunLimits limits;
+  limits.max_rounds = 2'000'000;  // would time out without fast-forward
+  const auto result =
+      run_sync(inst, schedule, 1, algo::flooding_factory(), limits);
+  EXPECT_EQ(result.wake_time[1], 1u);  // woken by flooding long before
+}
+
+TEST(SyncEngine, MaxRoundsEnforced) {
+  const auto g = graph::path(2);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const ProcessFactory forever = [](graph::NodeId) {
+    class Forever final : public Process {
+      void on_wake(Context&, WakeCause) override {}
+      void on_message(Context&, const Incoming&) override {}
+      void on_round(Context& ctx, std::span<const Incoming>) override {
+        ctx.request_tick();
+      }
+    };
+    return std::make_unique<Forever>();
+  };
+  SyncRunLimits limits;
+  limits.max_rounds = 100;
+  EXPECT_THROW(run_sync(inst, wake_single(0), 1, forever, limits), CheckError);
+}
+
+TEST(SyncEngine, DeterministicAcrossRuns) {
+  Rng rng(5);
+  const auto g = graph::connected_gnp(30, 0.15, rng);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const auto r1 = run_sync(inst, wake_single(7), 9, algo::flooding_factory());
+  const auto r2 = run_sync(inst, wake_single(7), 9, algo::flooding_factory());
+  EXPECT_EQ(r1.wake_time, r2.wake_time);
+  EXPECT_EQ(r1.metrics.messages, r2.metrics.messages);
+}
+
+}  // namespace
+}  // namespace rise::sim

@@ -1,0 +1,110 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace rise {
+namespace {
+
+TEST(Primality, SmallNumbers) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(Primality, LargerNumbers) {
+  EXPECT_TRUE(is_prime(1'000'000'007ULL));
+  EXPECT_TRUE(is_prime(1'000'000'009ULL));
+  EXPECT_FALSE(is_prime(1'000'000'007ULL * 3));
+  EXPECT_TRUE(is_prime(2'147'483'647ULL));            // 2^31 - 1
+  EXPECT_FALSE(is_prime(2'147'483'647ULL * 2'147'483'647ULL));
+  EXPECT_TRUE(is_prime(18'446'744'073'709'551'557ULL));  // largest 64-bit prime
+}
+
+TEST(Primality, CarmichaelNumbers) {
+  EXPECT_FALSE(is_prime(561));
+  EXPECT_FALSE(is_prime(41041));
+  EXPECT_FALSE(is_prime(825265));
+}
+
+TEST(NextPrevPrime, Basics) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(8), 11u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(prev_prime(10), 7u);
+  EXPECT_EQ(prev_prime(7), 7u);
+}
+
+TEST(Modular, MulmodNoOverflow) {
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFC5ULL;  // largest 64-bit prime
+  EXPECT_EQ(mulmod(big - 1, big - 1, big), 1u);     // (-1)^2 = 1 mod p
+  EXPECT_EQ(mulmod(2, 3, 7), 6u);
+  EXPECT_EQ(mulmod(5, 5, 7), 4u);
+}
+
+TEST(Modular, PowmodFermat) {
+  // a^(p-1) = 1 mod p for prime p.
+  for (std::uint64_t p : {5ULL, 97ULL, 1'000'000'007ULL}) {
+    for (std::uint64_t a : {2ULL, 3ULL, 10ULL}) {
+      if (a % p == 0) continue;  // Fermat needs gcd(a, p) = 1
+      EXPECT_EQ(powmod(a, p - 1, p), 1u) << "a=" << a << " p=" << p;
+    }
+  }
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+}
+
+TEST(Fq, FieldAxiomsSpotCheck) {
+  const std::uint64_t q = 13;
+  const Fq a(7, q), b(9, q);
+  EXPECT_EQ((a + b).value(), 3u);
+  EXPECT_EQ((a - b).value(), 11u);
+  EXPECT_EQ((a * b).value(), (7 * 9) % 13);
+  EXPECT_EQ((-a).value(), 6u);
+  EXPECT_EQ((a + (-a)).value(), 0u);
+  EXPECT_TRUE(a == Fq(7 + 13, q));
+}
+
+TEST(Logs, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+TEST(Logs, CeilLogNatural) {
+  EXPECT_EQ(ceil_log_natural(1), 0u);
+  EXPECT_EQ(ceil_log_natural(3), 2u);    // ln 3 ~ 1.0986
+  EXPECT_EQ(ceil_log_natural(100), 5u);  // ln 100 ~ 4.6
+}
+
+TEST(Iroot, ExactAndInexact) {
+  EXPECT_EQ(iroot(27, 3), 3u);
+  EXPECT_EQ(iroot(26, 3), 2u);
+  EXPECT_EQ(iroot(28, 3), 3u);
+  EXPECT_EQ(iroot(1, 5), 1u);
+  EXPECT_EQ(iroot(0, 2), 0u);
+  EXPECT_EQ(iroot(1'000'000, 2), 1000u);
+  EXPECT_EQ(iroot((std::uint64_t{1} << 60), 6), 1024u);
+}
+
+TEST(Iroot, NeverOverestimates) {
+  for (std::uint64_t n : {17ULL, 123456ULL, 999999937ULL}) {
+    for (unsigned k = 2; k <= 6; ++k) {
+      const std::uint64_t r = iroot(n, k);
+      std::uint64_t pow = 1;
+      for (unsigned i = 0; i < k; ++i) pow *= r;
+      EXPECT_LE(pow, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rise

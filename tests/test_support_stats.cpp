@@ -1,0 +1,63 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rise {
+namespace {
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleStats, SingleSample) {
+  SampleStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+}
+
+TEST(SampleStats, Quantiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(SampleStats, EmptyThrowsOnQuery) {
+  SampleStats s;
+  EXPECT_THROW(s.min(), CheckError);
+  EXPECT_THROW(s.quantile(0.5), CheckError);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);  // mean of nothing is defined as 0
+}
+
+TEST(SampleStats, WelfordMatchesUniformMoments) {
+  Rng rng(3);
+  SampleStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform_real());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.2887, 0.01);  // sqrt(1/12)
+}
+
+TEST(SampleStats, OrderInsensitive) {
+  SampleStats inc, dec;
+  for (int i = 0; i < 100; ++i) inc.add(i);
+  for (int i = 99; i >= 0; --i) dec.add(i);
+  EXPECT_DOUBLE_EQ(inc.mean(), dec.mean());
+  EXPECT_NEAR(inc.stddev(), dec.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(inc.median(), dec.median());
+}
+
+}  // namespace
+}  // namespace rise
