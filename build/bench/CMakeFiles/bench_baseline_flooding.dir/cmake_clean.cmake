@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_flooding.dir/bench_baseline_flooding.cpp.o"
+  "CMakeFiles/bench_baseline_flooding.dir/bench_baseline_flooding.cpp.o.d"
+  "bench_baseline_flooding"
+  "bench_baseline_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor1_fip06.dir/bench_cor1_fip06.cpp.o"
+  "CMakeFiles/bench_cor1_fip06.dir/bench_cor1_fip06.cpp.o.d"
+  "bench_cor1_fip06"
+  "bench_cor1_fip06.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor1_fip06.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gossip_footnote3.dir/bench_gossip_footnote3.cpp.o"
+  "CMakeFiles/bench_gossip_footnote3.dir/bench_gossip_footnote3.cpp.o.d"
+  "bench_gossip_footnote3"
+  "bench_gossip_footnote3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gossip_footnote3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

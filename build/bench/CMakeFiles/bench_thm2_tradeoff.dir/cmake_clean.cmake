@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_tradeoff.dir/bench_thm2_tradeoff.cpp.o"
+  "CMakeFiles/bench_thm2_tradeoff.dir/bench_thm2_tradeoff.cpp.o.d"
+  "bench_thm2_tradeoff"
+  "bench_thm2_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_ranked_dfs.dir/bench_thm3_ranked_dfs.cpp.o"
+  "CMakeFiles/bench_thm3_ranked_dfs.dir/bench_thm3_ranked_dfs.cpp.o.d"
+  "bench_thm3_ranked_dfs"
+  "bench_thm3_ranked_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_ranked_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

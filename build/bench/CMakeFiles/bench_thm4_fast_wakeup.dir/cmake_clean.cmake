@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_fast_wakeup.dir/bench_thm4_fast_wakeup.cpp.o"
+  "CMakeFiles/bench_thm4_fast_wakeup.dir/bench_thm4_fast_wakeup.cpp.o.d"
+  "bench_thm4_fast_wakeup"
+  "bench_thm4_fast_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_fast_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

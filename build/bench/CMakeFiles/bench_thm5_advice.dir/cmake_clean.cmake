@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_advice.dir/bench_thm5_advice.cpp.o"
+  "CMakeFiles/bench_thm5_advice.dir/bench_thm5_advice.cpp.o.d"
+  "bench_thm5_advice"
+  "bench_thm5_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm6_spanner.dir/bench_thm6_spanner.cpp.o"
+  "CMakeFiles/bench_thm6_spanner.dir/bench_thm6_spanner.cpp.o.d"
+  "bench_thm6_spanner"
+  "bench_thm6_spanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_spanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

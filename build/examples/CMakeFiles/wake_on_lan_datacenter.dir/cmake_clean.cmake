@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wake_on_lan_datacenter.dir/wake_on_lan_datacenter.cpp.o"
+  "CMakeFiles/wake_on_lan_datacenter.dir/wake_on_lan_datacenter.cpp.o.d"
+  "wake_on_lan_datacenter"
+  "wake_on_lan_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wake_on_lan_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advice/advice.cpp" "src/CMakeFiles/rise.dir/advice/advice.cpp.o" "gcc" "src/CMakeFiles/rise.dir/advice/advice.cpp.o.d"
+  "/root/repo/src/advice/child_encoding.cpp" "src/CMakeFiles/rise.dir/advice/child_encoding.cpp.o" "gcc" "src/CMakeFiles/rise.dir/advice/child_encoding.cpp.o.d"
+  "/root/repo/src/advice/fip06.cpp" "src/CMakeFiles/rise.dir/advice/fip06.cpp.o" "gcc" "src/CMakeFiles/rise.dir/advice/fip06.cpp.o.d"
+  "/root/repo/src/advice/spanner_scheme.cpp" "src/CMakeFiles/rise.dir/advice/spanner_scheme.cpp.o" "gcc" "src/CMakeFiles/rise.dir/advice/spanner_scheme.cpp.o.d"
+  "/root/repo/src/advice/sqrt_threshold.cpp" "src/CMakeFiles/rise.dir/advice/sqrt_threshold.cpp.o" "gcc" "src/CMakeFiles/rise.dir/advice/sqrt_threshold.cpp.o.d"
+  "/root/repo/src/algo/fast_wakeup.cpp" "src/CMakeFiles/rise.dir/algo/fast_wakeup.cpp.o" "gcc" "src/CMakeFiles/rise.dir/algo/fast_wakeup.cpp.o.d"
+  "/root/repo/src/algo/flooding.cpp" "src/CMakeFiles/rise.dir/algo/flooding.cpp.o" "gcc" "src/CMakeFiles/rise.dir/algo/flooding.cpp.o.d"
+  "/root/repo/src/algo/gossip.cpp" "src/CMakeFiles/rise.dir/algo/gossip.cpp.o" "gcc" "src/CMakeFiles/rise.dir/algo/gossip.cpp.o.d"
+  "/root/repo/src/algo/ranked_dfs.cpp" "src/CMakeFiles/rise.dir/algo/ranked_dfs.cpp.o" "gcc" "src/CMakeFiles/rise.dir/algo/ranked_dfs.cpp.o.d"
+  "/root/repo/src/algo/ranked_dfs_congest.cpp" "src/CMakeFiles/rise.dir/algo/ranked_dfs_congest.cpp.o" "gcc" "src/CMakeFiles/rise.dir/algo/ranked_dfs_congest.cpp.o.d"
+  "/root/repo/src/app/spec.cpp" "src/CMakeFiles/rise.dir/app/spec.cpp.o" "gcc" "src/CMakeFiles/rise.dir/app/spec.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/rise.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/rise.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/rise.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/rise.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/rise.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rise.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/high_girth.cpp" "src/CMakeFiles/rise.dir/graph/high_girth.cpp.o" "gcc" "src/CMakeFiles/rise.dir/graph/high_girth.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/rise.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/rise.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/spanner.cpp" "src/CMakeFiles/rise.dir/graph/spanner.cpp.o" "gcc" "src/CMakeFiles/rise.dir/graph/spanner.cpp.o.d"
+  "/root/repo/src/lb/beta_probing.cpp" "src/CMakeFiles/rise.dir/lb/beta_probing.cpp.o" "gcc" "src/CMakeFiles/rise.dir/lb/beta_probing.cpp.o.d"
+  "/root/repo/src/lb/lower_bound_graphs.cpp" "src/CMakeFiles/rise.dir/lb/lower_bound_graphs.cpp.o" "gcc" "src/CMakeFiles/rise.dir/lb/lower_bound_graphs.cpp.o.d"
+  "/root/repo/src/lb/nih.cpp" "src/CMakeFiles/rise.dir/lb/nih.cpp.o" "gcc" "src/CMakeFiles/rise.dir/lb/nih.cpp.o.d"
+  "/root/repo/src/lb/swap_checker.cpp" "src/CMakeFiles/rise.dir/lb/swap_checker.cpp.o" "gcc" "src/CMakeFiles/rise.dir/lb/swap_checker.cpp.o.d"
+  "/root/repo/src/lb/time_restricted.cpp" "src/CMakeFiles/rise.dir/lb/time_restricted.cpp.o" "gcc" "src/CMakeFiles/rise.dir/lb/time_restricted.cpp.o.d"
+  "/root/repo/src/sim/adversary.cpp" "src/CMakeFiles/rise.dir/sim/adversary.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/adversary.cpp.o.d"
+  "/root/repo/src/sim/async_engine.cpp" "src/CMakeFiles/rise.dir/sim/async_engine.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/async_engine.cpp.o.d"
+  "/root/repo/src/sim/delay_policy.cpp" "src/CMakeFiles/rise.dir/sim/delay_policy.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/delay_policy.cpp.o.d"
+  "/root/repo/src/sim/instance.cpp" "src/CMakeFiles/rise.dir/sim/instance.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/instance.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/rise.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/rise.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/sync_engine.cpp" "src/CMakeFiles/rise.dir/sim/sync_engine.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/sync_engine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rise.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rise.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/support/bitio.cpp" "src/CMakeFiles/rise.dir/support/bitio.cpp.o" "gcc" "src/CMakeFiles/rise.dir/support/bitio.cpp.o.d"
+  "/root/repo/src/support/math.cpp" "src/CMakeFiles/rise.dir/support/math.cpp.o" "gcc" "src/CMakeFiles/rise.dir/support/math.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/rise.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/rise.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/rise.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/rise.dir/support/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice_child_encoding.dir/test_advice_child_encoding.cpp.o"
+  "CMakeFiles/test_advice_child_encoding.dir/test_advice_child_encoding.cpp.o.d"
+  "test_advice_child_encoding"
+  "test_advice_child_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice_child_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_advice_child_encoding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_advice_child_encoding.
+# This may be replaced when dependencies are built.

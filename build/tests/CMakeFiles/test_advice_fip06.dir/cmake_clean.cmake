@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice_fip06.dir/test_advice_fip06.cpp.o"
+  "CMakeFiles/test_advice_fip06.dir/test_advice_fip06.cpp.o.d"
+  "test_advice_fip06"
+  "test_advice_fip06.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice_fip06.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_advice_fip06.
+# This may be replaced when dependencies are built.

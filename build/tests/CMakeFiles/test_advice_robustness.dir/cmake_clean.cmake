@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice_robustness.dir/test_advice_robustness.cpp.o"
+  "CMakeFiles/test_advice_robustness.dir/test_advice_robustness.cpp.o.d"
+  "test_advice_robustness"
+  "test_advice_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice_spanner_scheme.dir/test_advice_spanner_scheme.cpp.o"
+  "CMakeFiles/test_advice_spanner_scheme.dir/test_advice_spanner_scheme.cpp.o.d"
+  "test_advice_spanner_scheme"
+  "test_advice_spanner_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice_spanner_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice_sqrt_threshold.dir/test_advice_sqrt_threshold.cpp.o"
+  "CMakeFiles/test_advice_sqrt_threshold.dir/test_advice_sqrt_threshold.cpp.o.d"
+  "test_advice_sqrt_threshold"
+  "test_advice_sqrt_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice_sqrt_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_advice_sqrt_threshold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_fast_wakeup.dir/test_algo_fast_wakeup.cpp.o"
+  "CMakeFiles/test_algo_fast_wakeup.dir/test_algo_fast_wakeup.cpp.o.d"
+  "test_algo_fast_wakeup"
+  "test_algo_fast_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_fast_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

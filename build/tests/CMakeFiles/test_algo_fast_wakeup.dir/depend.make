@@ -1,0 +1,2 @@
+# Empty dependencies file for test_algo_fast_wakeup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_flooding.dir/test_algo_flooding.cpp.o"
+  "CMakeFiles/test_algo_flooding.dir/test_algo_flooding.cpp.o.d"
+  "test_algo_flooding"
+  "test_algo_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

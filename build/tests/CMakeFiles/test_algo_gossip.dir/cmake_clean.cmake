@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_gossip.dir/test_algo_gossip.cpp.o"
+  "CMakeFiles/test_algo_gossip.dir/test_algo_gossip.cpp.o.d"
+  "test_algo_gossip"
+  "test_algo_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_leader_election.dir/test_algo_leader_election.cpp.o"
+  "CMakeFiles/test_algo_leader_election.dir/test_algo_leader_election.cpp.o.d"
+  "test_algo_leader_election"
+  "test_algo_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_ranked_dfs_congest.dir/test_algo_ranked_dfs_congest.cpp.o"
+  "CMakeFiles/test_algo_ranked_dfs_congest.dir/test_algo_ranked_dfs_congest.cpp.o.d"
+  "test_algo_ranked_dfs_congest"
+  "test_algo_ranked_dfs_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_ranked_dfs_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_spec.dir/test_app_spec.cpp.o"
+  "CMakeFiles/test_app_spec.dir/test_app_spec.cpp.o.d"
+  "test_app_spec"
+  "test_app_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

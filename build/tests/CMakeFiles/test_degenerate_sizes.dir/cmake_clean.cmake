@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degenerate_sizes.dir/test_degenerate_sizes.cpp.o"
+  "CMakeFiles/test_degenerate_sizes.dir/test_degenerate_sizes.cpp.o.d"
+  "test_degenerate_sizes"
+  "test_degenerate_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degenerate_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

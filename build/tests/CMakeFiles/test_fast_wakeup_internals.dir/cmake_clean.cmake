@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_wakeup_internals.dir/test_fast_wakeup_internals.cpp.o"
+  "CMakeFiles/test_fast_wakeup_internals.dir/test_fast_wakeup_internals.cpp.o.d"
+  "test_fast_wakeup_internals"
+  "test_fast_wakeup_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_wakeup_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_high_girth.dir/test_graph_high_girth.cpp.o"
+  "CMakeFiles/test_graph_high_girth.dir/test_graph_high_girth.cpp.o.d"
+  "test_graph_high_girth"
+  "test_graph_high_girth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_high_girth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_spanner.dir/test_graph_spanner.cpp.o"
+  "CMakeFiles/test_graph_spanner.dir/test_graph_spanner.cpp.o.d"
+  "test_graph_spanner"
+  "test_graph_spanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_spanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

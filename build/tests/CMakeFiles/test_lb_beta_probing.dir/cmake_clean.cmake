@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_beta_probing.dir/test_lb_beta_probing.cpp.o"
+  "CMakeFiles/test_lb_beta_probing.dir/test_lb_beta_probing.cpp.o.d"
+  "test_lb_beta_probing"
+  "test_lb_beta_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_beta_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

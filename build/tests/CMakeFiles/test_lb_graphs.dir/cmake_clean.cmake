@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_graphs.dir/test_lb_graphs.cpp.o"
+  "CMakeFiles/test_lb_graphs.dir/test_lb_graphs.cpp.o.d"
+  "test_lb_graphs"
+  "test_lb_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

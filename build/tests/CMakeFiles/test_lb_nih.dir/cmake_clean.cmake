@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_nih.dir/test_lb_nih.cpp.o"
+  "CMakeFiles/test_lb_nih.dir/test_lb_nih.cpp.o.d"
+  "test_lb_nih"
+  "test_lb_nih.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_nih.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

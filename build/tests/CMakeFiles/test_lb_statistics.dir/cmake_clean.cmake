@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_statistics.dir/test_lb_statistics.cpp.o"
+  "CMakeFiles/test_lb_statistics.dir/test_lb_statistics.cpp.o.d"
+  "test_lb_statistics"
+  "test_lb_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

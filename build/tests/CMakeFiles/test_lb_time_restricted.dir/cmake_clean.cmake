@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_time_restricted.dir/test_lb_time_restricted.cpp.o"
+  "CMakeFiles/test_lb_time_restricted.dir/test_lb_time_restricted.cpp.o.d"
+  "test_lb_time_restricted"
+  "test_lb_time_restricted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_time_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

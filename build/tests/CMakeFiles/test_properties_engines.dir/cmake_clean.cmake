@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_engines.dir/test_properties_engines.cpp.o"
+  "CMakeFiles/test_properties_engines.dir/test_properties_engines.cpp.o.d"
+  "test_properties_engines"
+  "test_properties_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

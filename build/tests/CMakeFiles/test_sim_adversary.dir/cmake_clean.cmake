@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_adversary.dir/test_sim_adversary.cpp.o"
+  "CMakeFiles/test_sim_adversary.dir/test_sim_adversary.cpp.o.d"
+  "test_sim_adversary"
+  "test_sim_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_instance.dir/test_sim_instance.cpp.o"
+  "CMakeFiles/test_sim_instance.dir/test_sim_instance.cpp.o.d"
+  "test_sim_instance"
+  "test_sim_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

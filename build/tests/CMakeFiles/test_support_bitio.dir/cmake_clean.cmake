@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_bitio.dir/test_support_bitio.cpp.o"
+  "CMakeFiles/test_support_bitio.dir/test_support_bitio.cpp.o.d"
+  "test_support_bitio"
+  "test_support_bitio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_bitio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_math.dir/test_support_math.cpp.o"
+  "CMakeFiles/test_support_math.dir/test_support_math.cpp.o.d"
+  "test_support_math"
+  "test_support_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

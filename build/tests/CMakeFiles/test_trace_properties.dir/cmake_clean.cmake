@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_properties.dir/test_trace_properties.cpp.o"
+  "CMakeFiles/test_trace_properties.dir/test_trace_properties.cpp.o.d"
+  "test_trace_properties"
+  "test_trace_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rise_cli.dir/rise_cli.cpp.o"
+  "CMakeFiles/rise_cli.dir/rise_cli.cpp.o.d"
+  "rise_cli"
+  "rise_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rise_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
