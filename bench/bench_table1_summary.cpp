@@ -156,11 +156,55 @@ void table1() {
   table.print();
 }
 
+// Distributions over seeds for every spec-expressible Table-1 row, computed
+// in parallel by the campaign runner (deterministic for any core count).
+// Set RISE_BENCH_JSON_DIR to also dump per-trial BENCH_table1_*.json.
+void table1_distributions() {
+  const std::size_t kSeeds = 16;
+  bench::Table table({"row", "algo spec", "messages (mean +- sd)",
+                      "median msgs", "time units (mean +- sd)",
+                      "runs (fail/err)"});
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"Thm 3 RankedDFS", "ranked_dfs"},
+      {"Thm 4 FastWakeUp", "fast_wakeup"},
+      {"Cor 1 [FIP06]", "fip06"},
+      {"Thm 5(A) sqrt-threshold", "sqrt"},
+      {"Thm 5(B) child-encoding", "cen"},
+      {"Thm 6 spanner k=3", "spanner:3"},
+      {"Cor 2 spanner k=log n", "cor2"},
+      {"baseline flooding", "flooding"},
+  };
+  for (const auto& [name, algo] : rows) {
+    app::ExperimentSpec spec;
+    spec.graph = "cgnp:1000:0.008";
+    spec.schedule = "random:0.2";
+    spec.algorithm = algo;
+    spec.delay = "unit";
+    spec.seed = 2026;
+    std::string artifact = "table1_" + algo;
+    for (char& c : artifact) {
+      if (c == ':') c = '_';
+    }
+    const auto result = bench::campaign_sweep(spec, kSeeds, artifact);
+    const auto& t = result.total;
+    table.add_row({name, algo, bench::fmt_mean_sd(t.messages, 0),
+                   t.messages.count() > 0 ? bench::fmt_f(t.messages.median(), 0)
+                                          : "-",
+                   bench::fmt_mean_sd(t.time_units, 1),
+                   bench::fmt_u(t.trials) + " (" + bench::fmt_u(t.failures) +
+                       "/" + bench::fmt_u(t.errors) + ")"});
+  }
+  table.print();
+}
+
 }  // namespace
 
 int main() {
   bench::section("Table 1, reproduced (measured values on a shared workload)");
   table1();
+  bench::section("Table 1 rows as distributions over 16 seeds (campaign "
+                 "runner, all cores)");
+  table1_distributions();
   std::printf(
       "\nPer-theorem n-sweeps (bench_thm*_*) establish that each measured "
       "column scales as the bracketed bound; this table is the one-page "

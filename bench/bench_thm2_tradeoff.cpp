@@ -6,6 +6,10 @@
 // and k = 5 traces the n^{1+1/k} curve. The unrestricted-time comparison
 // (RankedDFS) sends only O(n log n) messages but takes Theta(n) time,
 // locating the crossover the two theorems predict.
+//
+// Each (k, q) point is a distribution over seeds (the adversary's ID
+// permutation is randomized), executed in parallel by the campaign runner
+// with a custom trial function; NIH correctness is asserted per trial.
 #include <cmath>
 #include <cstdio>
 
@@ -16,33 +20,68 @@
 #include "lb/nih.hpp"
 #include "lb/time_restricted.hpp"
 #include "sim/async_engine.hpp"
+#include "support/check.hpp"
 
 namespace {
 
 using namespace rise;
 
-void q_sweep(unsigned k, const std::vector<std::uint64_t>& qs) {
-  std::printf("\nG_k family, k = %u (girth >= %u)\n", k, k + 5);
-  bench::Table table({"q", "n=q^k", "girth", "bcast msgs", "n^{1+1/k}",
-                      "bcast/n^{1+1/k}", "bcast time", "NIH correct"});
-  for (std::uint64_t q : qs) {
+constexpr std::size_t kSeeds = 8;
+
+runner::TrialFn bcast_trial(unsigned k, std::uint64_t q) {
+  return [k, q](const app::ExperimentSpec& spec) {
     const auto fam = lb::make_kt1_family(k, q);
-    Rng rng(q);
+    Rng rng(mix_seed(spec.seed, 0xF));
     const auto inst = lb::make_kt1_instance(fam.family, rng);
+    app::ExperimentReport report;
+    report.algorithm = "centers_broadcast";
+    report.num_nodes = inst.num_nodes();
+    report.num_edges = inst.graph().num_edges();
     const auto delays = sim::unit_delay();
-    const auto result = sim::run_async(
-        inst, *delays, fam.family.centers_awake(), 7,
+    report.result = sim::run_async(
+        inst, *delays, fam.family.centers_awake(), spec.seed,
         lb::nih_reduction_factory(lb::centers_broadcast_factory()));
+    RISE_CHECK_MSG(
+        lb::nih_correct_count(report.result, inst, fam.family) == fam.family.n,
+        "a center mis-identified its crucial neighbor");
+    return report;
+  };
+}
+
+void q_sweep(unsigned k, const std::vector<std::uint64_t>& qs) {
+  std::printf("\nG_k family, k = %u (girth >= %u), %zu seeds per q\n", k,
+              k + 5, kSeeds);
+  bench::Table table({"q", "n=q^k", "girth", "bcast msgs (mean +- sd)",
+                      "n^{1+1/k}", "mean/n^{1+1/k}", "bcast time",
+                      "runs (fail/err)"});
+  for (std::uint64_t q : qs) {
+    // The topology is deterministic per (k, q); only IDs vary with the
+    // seed, so girth is computed once outside the sweep.
+    const auto fam = lb::make_kt1_family(k, q);
+    const auto girth = graph::girth(fam.family.graph);
+    app::ExperimentSpec base;
+    base.graph =
+        "kt1family:" + std::to_string(k) + ":" + std::to_string(q);
+    base.algorithm = "centers_broadcast";
+    base.schedule = "centers";
+    base.seed = q;
+    // The 1-unit broadcast is not meant to wake the whole family; NIH
+    // correctness (asserted per trial) is the success criterion.
+    const auto result = bench::campaign_sweep(
+        base, kSeeds,
+        "thm2_k" + std::to_string(k) + "_q" + std::to_string(q),
+        bcast_trial(k, q), /*require_all_awake=*/false);
+    const auto& t = result.total;
     const double n = fam.family.n;
     const double curve = std::pow(n, 1.0 + 1.0 / k);
     table.add_row(
-        {bench::fmt_u(q), bench::fmt_u(fam.family.n),
-         bench::fmt_u(graph::girth(fam.family.graph)),
-         bench::fmt_u(result.metrics.messages), bench::fmt_f(curve, 0),
-         bench::fmt_f(static_cast<double>(result.metrics.messages) / curve,
+        {bench::fmt_u(q), bench::fmt_u(fam.family.n), bench::fmt_u(girth),
+         bench::fmt_mean_sd(t.messages, 0), bench::fmt_f(curve, 0),
+         bench::fmt_f(t.messages.count() > 0 ? t.messages.mean() / curve : 0.0,
                       3),
-         bench::fmt_f(result.metrics.time_units(), 1),
-         bench::fmt_u(lb::nih_correct_count(result, inst, fam.family))});
+         bench::fmt_mean_sd(t.time_units, 1),
+         bench::fmt_u(t.trials) + " (" + bench::fmt_u(t.failures) + "/" +
+             bench::fmt_u(t.errors) + ")"});
   }
   table.print();
 }
@@ -78,6 +117,7 @@ int main() {
       "\nshape check: bcast/n^{1+1/k} is ~1 across the sweep — the "
       "1-time-unit algorithm sits exactly on the lower-bound curve, while "
       "unrestricted time buys O(n log n) messages at Theta(n) time "
-      "(Theorem 3), matching the paper's trade-off.\n");
+      "(Theorem 3), matching the paper's trade-off; NIH is solved "
+      "correctly by every center in every trial.\n");
   return 0;
 }

@@ -1,12 +1,21 @@
 // Shared helpers for the experiment harnesses in bench/: fixed-width table
-// printing in the style of the paper's Table 1, plus ratio columns that make
-// the asymptotic *shape* of a measurement visible (a flat ratio column means
-// the measurement tracks the predicted bound).
+// printing in the style of the paper's Table 1, ratio columns that make the
+// asymptotic *shape* of a measurement visible (a flat ratio column means the
+// measurement tracks the predicted bound), and a campaign-runner front end
+// so every seed sweep runs on all cores and can dump machine-readable
+// BENCH_*.json artifacts.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "runner/campaign.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/thread_pool.hpp"
 
 namespace rise::bench {
 
@@ -57,6 +66,46 @@ inline std::string fmt_f(double v, int precision = 2) {
 
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Runs a seed sweep through the campaign runner on all hardware threads.
+/// Results are deterministic regardless of the core count (see
+/// runner/campaign.hpp). When the RISE_BENCH_JSON_DIR environment variable
+/// is set, the per-trial records land in
+/// $RISE_BENCH_JSON_DIR/BENCH_<artifact_name>.json. A custom `run` lets
+/// benches whose workloads are not spec-expressible (the lower-bound
+/// families) still sweep through the runner.
+inline runner::CampaignResult campaign_sweep(const app::ExperimentSpec& base,
+                                             std::size_t seeds,
+                                             const std::string& artifact_name,
+                                             runner::TrialFn run = {},
+                                             bool require_all_awake = true) {
+  runner::CampaignPlan plan;
+  plan.base = base;
+  plan.num_seeds = seeds;
+  plan.run = std::move(run);
+  plan.require_all_awake = require_all_awake;
+  runner::CampaignOptions options;
+  options.jobs = runner::ThreadPool::hardware_threads();
+
+  std::ofstream json_out;
+  std::unique_ptr<runner::JsonResultSink> sink;
+  if (const char* dir = std::getenv("RISE_BENCH_JSON_DIR")) {
+    json_out.open(std::string(dir) + "/BENCH_" + artifact_name + ".json");
+    if (json_out) {
+      sink = std::make_unique<runner::JsonResultSink>(json_out, plan,
+                                                      options.jobs);
+    }
+  }
+  options.sink = sink.get();
+  auto result = runner::run_campaign(plan, options);
+  if (json_out.is_open()) json_out << "\n";
+  return result;
+}
+
+/// "mean ± sd" cell for distribution tables.
+inline std::string fmt_mean_sd(const SampleStats& s, int precision = 1) {
+  return fmt_f(s.mean(), precision) + " +- " + fmt_f(s.stddev(), precision);
 }
 
 }  // namespace rise::bench

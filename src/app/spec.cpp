@@ -16,6 +16,7 @@
 #include "lb/beta_probing.hpp"
 #include "lb/lower_bound_graphs.hpp"
 #include "lb/time_restricted.hpp"
+#include "runner/campaign.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/sync_engine.hpp"
 #include "support/check.hpp"
@@ -389,22 +390,26 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
   return report;
 }
 
-SweepResult run_sweep(const ExperimentSpec& base, std::size_t num_seeds) {
+SweepResult run_sweep(const ExperimentSpec& base, std::size_t num_seeds,
+                      std::size_t jobs) {
   RISE_CHECK(num_seeds >= 1);
+  runner::CampaignPlan plan;
+  plan.base = base;
+  plan.num_seeds = num_seeds;
+  plan.seed_mode = runner::SeedMode::kSequential;  // seeds base, base+1, ...
+  runner::CampaignOptions options;
+  options.jobs = jobs;
+  const runner::CampaignResult result = runner::run_campaign(plan, options);
+
   SweepResult sweep;
-  for (std::size_t i = 0; i < num_seeds; ++i) {
-    ExperimentSpec spec = base;
-    spec.seed = base.seed + i;
-    const auto report = run_experiment(spec);
-    ++sweep.runs;
-    if (!report.result.all_awake()) {
-      ++sweep.failures;
-      continue;
-    }
-    sweep.messages.add(static_cast<double>(report.result.metrics.messages));
-    sweep.time_units.add(report.result.metrics.time_units());
-    sweep.wakeup_span.add(static_cast<double>(report.result.wakeup_span()));
-  }
+  sweep.runs = result.total.trials;
+  // A trial that throws (e.g. a disconnected gnp graph rejected by an
+  // algorithm's preconditions) counts as a failed run, like an incomplete
+  // wake-up; errors no longer abort the remaining seeds.
+  sweep.failures = result.total.failures + result.total.errors;
+  sweep.messages = result.total.messages;
+  sweep.time_units = result.total.time_units;
+  sweep.wakeup_span = result.total.wakeup_span;
   return sweep;
 }
 

@@ -84,7 +84,11 @@ ExperimentReport run_experiment(const ExperimentSpec& spec);
 std::string format_report(const ExperimentReport& report);
 
 /// Multi-seed sweep: runs the experiment with seeds base.seed, base.seed+1,
-/// ..., aggregating distributions of the key measures.
+/// ..., base.seed+num_seeds-1 (the user-provided seed is the base of the
+/// range), aggregating distributions of the key measures. Implemented over
+/// the campaign runner (src/runner/campaign.hpp) with SeedMode::kSequential;
+/// `jobs` worker threads execute trials in parallel (0 = all hardware
+/// threads) without changing any result — aggregation order is fixed.
 struct SweepResult {
   SampleStats messages;
   SampleStats time_units;
@@ -93,7 +97,8 @@ struct SweepResult {
   std::size_t failures = 0;  ///< runs in which some node stayed asleep
 };
 
-SweepResult run_sweep(const ExperimentSpec& base, std::size_t num_seeds);
+SweepResult run_sweep(const ExperimentSpec& base, std::size_t num_seeds,
+                      std::size_t jobs = 1);
 
 std::string format_sweep(const SweepResult& sweep);
 

@@ -1,0 +1,300 @@
+#include "runner/campaign.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "runner/thread_pool.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace rise::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Throttled completed/total reporter on stderr. Workers call tick()
+/// concurrently; output is serialized by mu_.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::size_t total, bool enabled)
+      : total_(total), enabled_(enabled), start_(Clock::now()) {}
+
+  void tick() {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    const auto now = Clock::now();
+    if (done_ < total_ && ms_between(last_print_, now) < 200.0) return;
+    last_print_ = now;
+    const double elapsed_s = ms_between(start_, now) / 1000.0;
+    const double rate =
+        elapsed_s > 0.0 ? static_cast<double>(done_) / elapsed_s : 0.0;
+    const double eta_s =
+        rate > 0.0 ? static_cast<double>(total_ - done_) / rate : 0.0;
+    std::fprintf(stderr, "\rcampaign: %zu/%zu trials  %.1f trials/s  eta %.0fs ",
+                 done_, total_, rate, eta_s);
+    if (done_ == total_) std::fprintf(stderr, "\n");
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  bool enabled_;
+  Clock::time_point start_;
+  Clock::time_point last_print_;
+};
+
+TrialResult execute_trial(const Trial& trial, const TrialFn& run) {
+  TrialResult r;
+  r.trial = trial;
+  const auto t0 = Clock::now();
+  try {
+    const app::ExperimentReport report = run(trial.spec);
+    r.ok = true;
+    r.num_nodes = report.num_nodes;
+    r.num_edges = report.num_edges;
+    r.rho_awk = report.rho_awk;
+    r.synchronous = report.synchronous;
+    r.all_awake = report.result.all_awake();
+    r.awake_count = report.result.awake_count();
+    r.messages = report.result.metrics.messages;
+    r.bits = report.result.metrics.bits;
+    r.time_units = report.result.metrics.time_units();
+    r.rounds = report.result.metrics.rounds;
+    r.wakeup_span = r.all_awake ? report.result.wakeup_span() : 0;
+    r.awake_node_ticks = report.result.awake_node_ticks();
+    r.advice_max_bits = report.advice.max_bits;
+    r.advice_avg_bits = report.advice.avg_bits;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_ms = ms_between(t0, Clock::now());
+  return r;
+}
+
+void accumulate(ConfigStats& stats, const TrialResult& r,
+                bool require_all_awake) {
+  ++stats.trials;
+  if (!r.ok) {
+    ++stats.errors;
+    return;
+  }
+  if (require_all_awake && !r.all_awake) {
+    ++stats.failures;
+    return;
+  }
+  stats.messages.add(static_cast<double>(r.messages));
+  stats.bits.add(static_cast<double>(r.bits));
+  stats.time_units.add(r.time_units);
+  stats.wakeup_span.add(static_cast<double>(r.wakeup_span));
+  stats.awake_node_ticks.add(static_cast<double>(r.awake_node_ticks));
+}
+
+void append_stats_line(std::ostringstream& os, const char* name,
+                       const SampleStats& s) {
+  if (s.count() == 0) return;
+  os << "  " << name << ": mean " << s.mean() << "  sd " << s.stddev()
+     << "  min " << s.min() << "  median " << s.median() << "  max "
+     << s.max() << "\n";
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+  // One SplitMix64 step over a state that folds the base seed with the
+  // trial index; the odd multiplier spreads adjacent indices across the
+  // whole state space. Distinct from the mix_seed(seed, 0xA..0xD) streams
+  // run_experiment derives internally, so campaign seeds never collide with
+  // a trial's own sub-streams by construction of the tag.
+  std::uint64_t state =
+      base_seed ^ ((trial_index + 0x51CEB00Dull) * 0xD1B54A32D192ED03ull);
+  return splitmix64(state);
+}
+
+GridAxis parse_grid_axis(const std::string& text) {
+  const auto eq = text.find('=');
+  RISE_CHECK_MSG(eq != std::string::npos && eq > 0,
+                 "grid axis '" << text << "' is not PARAM=a,b,c");
+  GridAxis axis;
+  axis.param = text.substr(0, eq);
+  std::string values = text.substr(eq + 1);
+  std::istringstream is(values);
+  std::string field;
+  while (std::getline(is, field, ',')) {
+    RISE_CHECK_MSG(!field.empty(),
+                   "grid axis '" << text << "' has an empty value");
+    axis.values.push_back(field);
+  }
+  RISE_CHECK_MSG(!axis.values.empty(),
+                 "grid axis '" << text << "' has no values");
+  // Validate the param name eagerly so a typo fails before any trial runs.
+  app::ExperimentSpec probe;
+  apply_grid_param(probe, axis.param, axis.values.front());
+  return axis;
+}
+
+void apply_grid_param(app::ExperimentSpec& spec, const std::string& param,
+                      const std::string& value) {
+  if (param == "graph") {
+    spec.graph = value;
+  } else if (param == "schedule") {
+    spec.schedule = value;
+  } else if (param == "algo" || param == "algorithm") {
+    spec.algorithm = value;
+  } else if (param == "delay") {
+    spec.delay = value;
+  } else {
+    RISE_CHECK_MSG(false, "unknown grid param '"
+                              << param
+                              << "' (expected graph|schedule|algo|delay)");
+  }
+}
+
+std::size_t config_count(const CampaignPlan& plan) {
+  std::size_t count = 1;
+  for (const auto& axis : plan.grid) {
+    RISE_CHECK_MSG(!axis.values.empty(),
+                   "grid axis '" << axis.param << "' has no values");
+    count *= axis.values.size();
+  }
+  return count;
+}
+
+std::vector<Trial> expand_trials(const CampaignPlan& plan) {
+  RISE_CHECK_MSG(plan.num_seeds >= 1, "campaign needs at least one seed");
+  const std::size_t configs = config_count(plan);
+  std::vector<Trial> trials;
+  trials.reserve(configs * plan.num_seeds);
+  for (std::size_t c = 0; c < configs; ++c) {
+    app::ExperimentSpec config_spec = plan.base;
+    // Decode the config index in mixed radix, last grid axis fastest.
+    std::size_t rem = c;
+    for (std::size_t a = plan.grid.size(); a-- > 0;) {
+      const GridAxis& axis = plan.grid[a];
+      apply_grid_param(config_spec, axis.param,
+                       axis.values[rem % axis.values.size()]);
+      rem /= axis.values.size();
+    }
+    for (std::size_t s = 0; s < plan.num_seeds; ++s) {
+      Trial t;
+      t.index = c * plan.num_seeds + s;
+      t.config_index = c;
+      t.seed_index = s;
+      t.spec = config_spec;
+      t.spec.seed = plan.seed_mode == SeedMode::kSplitMix
+                        ? trial_seed(plan.base.seed, t.index)
+                        : plan.base.seed + s;
+      trials.push_back(std::move(t));
+    }
+  }
+  return trials;
+}
+
+CampaignResult run_campaign(const CampaignPlan& plan,
+                            const CampaignOptions& options) {
+  const std::vector<Trial> trials = expand_trials(plan);
+  const TrialFn run = plan.run ? plan.run : TrialFn(&app::run_experiment);
+
+  CampaignResult result;
+  result.jobs =
+      options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
+  result.trials.resize(trials.size());
+
+  const auto t0 = Clock::now();
+  {
+    ProgressReporter progress(trials.size(), options.progress);
+    ThreadPool pool(result.jobs);
+    for (const Trial& trial : trials) {
+      // &trial and &result.trials[i] stay valid: neither vector is resized
+      // while the pool runs, and each slot is written by exactly one task.
+      TrialResult* slot = &result.trials[trial.index];
+      pool.submit([&trial, slot, &run, &progress] {
+        *slot = execute_trial(trial, run);
+        progress.tick();
+      });
+    }
+    pool.wait_idle();
+  }
+  result.wall_ms = ms_between(t0, Clock::now());
+  result.trials_per_sec =
+      result.wall_ms > 0.0
+          ? static_cast<double>(trials.size()) / (result.wall_ms / 1000.0)
+          : 0.0;
+
+  // Aggregate in trial-index order — fixed regardless of which worker
+  // finished first — so SampleStats sees the same insertion sequence for
+  // every jobs value.
+  result.configs.resize(config_count(plan));
+  for (const TrialResult& r : result.trials) {
+    ConfigStats& config = result.configs[r.trial.config_index];
+    if (config.trials == 0) {
+      config.spec = r.trial.spec;
+      config.spec.seed = plan.base.seed;
+    }
+    accumulate(config, r, plan.require_all_awake);
+    accumulate(result.total, r, plan.require_all_awake);
+  }
+  result.total.spec = plan.base;
+
+  if (options.sink != nullptr) {
+    for (const TrialResult& r : result.trials) options.sink->trial(r);
+    options.sink->summary(result);
+  }
+  return result;
+}
+
+std::string format_campaign(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "campaign  : " << result.configs.size() << " config(s) x "
+     << (result.configs.empty() || result.configs[0].trials == 0
+             ? 0
+             : result.configs[0].trials)
+     << " seed(s) = " << result.trials.size() << " trials, jobs "
+     << result.jobs << "\n";
+  const bool multi = result.configs.size() > 1;
+  for (std::size_t c = 0; c < result.configs.size(); ++c) {
+    const ConfigStats& config = result.configs[c];
+    if (multi) {
+      os << "config " << c << "  : graph=" << config.spec.graph
+         << " schedule=" << config.spec.schedule
+         << " algo=" << config.spec.algorithm
+         << " delay=" << config.spec.delay << "\n";
+    }
+    os << "  runs: " << config.trials << " (" << config.failures
+       << " incomplete, " << config.errors << " errors)\n";
+    append_stats_line(os, "messages ", config.messages);
+    append_stats_line(os, "time     ", config.time_units);
+    append_stats_line(os, "wake span", config.wakeup_span);
+    if (config.errors > 0) {
+      // Surface one representative error so a misconfigured campaign is
+      // diagnosable from the summary alone.
+      for (const TrialResult& r : result.trials) {
+        if (r.trial.config_index == c && !r.ok) {
+          os << "  first error: " << r.error << "\n";
+          break;
+        }
+      }
+    }
+  }
+  if (multi) {
+    os << "total     : " << result.total.trials << " runs ("
+       << result.total.failures << " incomplete, " << result.total.errors
+       << " errors)\n";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "wall      : %.1f ms (%.1f trials/s)\n",
+                result.wall_ms, result.trials_per_sec);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace rise::runner

@@ -1,0 +1,170 @@
+// Parallel experiment campaigns: expand an app::ExperimentSpec × seed range
+// × parameter grid into independent trials, execute them on a work-stealing
+// ThreadPool, and aggregate the results deterministically.
+//
+// Determinism contract: each trial's RNG seed is derived via SplitMix64 from
+// (base_seed, trial_index) — never from thread identity or completion order
+// — and per-trial results are collected into a slot indexed by trial and
+// aggregated in trial-index order after the pool drains. A campaign
+// therefore produces bit-identical per-trial records and aggregate
+// statistics for any --jobs value and any scheduling interleaving; only the
+// wall-clock fields differ (and those are kept out of the aggregates).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/spec.hpp"
+#include "support/stats.hpp"
+
+namespace rise::runner {
+
+/// How trial seeds derive from the campaign's base seed.
+enum class SeedMode {
+  /// seed = SplitMix64(base_seed, trial_index): decorrelated streams, the
+  /// campaign default (see file comment).
+  kSplitMix,
+  /// seed = base_seed + seed_index: the documented app::run_sweep contract
+  /// (seeds base, base+1, ...), kept for reproducing legacy sweeps.
+  kSequential,
+};
+
+/// SplitMix64-derived seed for one trial; pure function of its arguments.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index);
+
+/// One axis of the parameter grid: the spec field named `param` (one of
+/// "graph" | "schedule" | "algo" | "delay") takes each of `values` in turn.
+struct GridAxis {
+  std::string param;
+  std::vector<std::string> values;
+};
+
+/// Parses "PARAM=a,b,c" (the rise_cli --grid argument). Values must be
+/// non-empty and comma-free; the spec grammars themselves never use commas
+/// except in the rare set:a,b,c schedule, which a grid cannot sweep.
+GridAxis parse_grid_axis(const std::string& text);
+
+/// Substitutes one grid value into the spec; CheckError on unknown param.
+void apply_grid_param(app::ExperimentSpec& spec, const std::string& param,
+                      const std::string& value);
+
+struct Trial {
+  std::size_t index = 0;  ///< global trial index (config-major, seed-minor)
+  std::size_t config_index = 0;
+  std::size_t seed_index = 0;
+  app::ExperimentSpec spec;  ///< grid-substituted; seed = the derived seed
+};
+
+/// Scalar observables of one finished trial. The per-node vectors of
+/// sim::RunResult are deliberately dropped so retaining thousands of trials
+/// stays cheap.
+struct TrialResult {
+  Trial trial;
+  bool ok = false;    ///< ran to completion without throwing
+  std::string error;  ///< exception text when !ok
+
+  // Topology and model (valid when ok).
+  std::uint32_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::uint32_t rho_awk = 0;
+  bool synchronous = false;
+
+  // Outcome metrics (valid when ok).
+  bool all_awake = false;
+  std::uint32_t awake_count = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  double time_units = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t wakeup_span = 0;       ///< only meaningful when all_awake
+  std::uint64_t awake_node_ticks = 0;
+  std::size_t advice_max_bits = 0;
+  double advice_avg_bits = 0.0;
+
+  /// Wall-clock duration of this trial. Nondeterministic — excluded from
+  /// every aggregate; reported per trial and in the summary timing block.
+  double wall_ms = 0.0;
+};
+
+/// Aggregates over the successful trials of one grid config (or of the
+/// whole campaign). Failure accounting matches app::run_sweep: a trial that
+/// runs but leaves nodes asleep is a failure; a trial that throws is an
+/// error; neither contributes samples. (Plans with require_all_awake ==
+/// false aggregate every ok trial instead — see CampaignPlan.)
+struct ConfigStats {
+  app::ExperimentSpec spec;  ///< grid-substituted; seed = the base seed
+  std::size_t trials = 0;
+  std::size_t failures = 0;
+  std::size_t errors = 0;
+  SampleStats messages;
+  SampleStats bits;
+  SampleStats time_units;
+  SampleStats wakeup_span;
+  SampleStats awake_node_ticks;
+};
+
+struct CampaignResult {
+  std::vector<TrialResult> trials;  ///< trial-index order
+  std::vector<ConfigStats> configs;
+  ConfigStats total;
+  std::size_t jobs = 1;       ///< resolved worker count
+  double wall_ms = 0.0;       ///< whole-campaign wall clock
+  double trials_per_sec = 0.0;
+};
+
+/// Observer of a finished campaign. trial() is invoked once per trial in
+/// strictly increasing trial-index order (after the pool has drained, on the
+/// caller's thread), then summary() once.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void trial(const TrialResult& result) = 0;
+  virtual void summary(const CampaignResult& result) = 0;
+};
+
+/// Computes one trial; defaults to app::run_experiment. Benches whose
+/// workloads are not expressible as spec strings (the lower-bound families)
+/// supply their own function and still get parallel execution, seed
+/// derivation, aggregation, and JSON output. Must be thread-safe for
+/// concurrent calls with distinct specs.
+using TrialFn = std::function<app::ExperimentReport(const app::ExperimentSpec&)>;
+
+struct CampaignPlan {
+  app::ExperimentSpec base;
+  std::vector<GridAxis> grid;  ///< cartesian product, last axis fastest
+  std::size_t num_seeds = 1;
+  SeedMode seed_mode = SeedMode::kSplitMix;
+  TrialFn run;  ///< empty = app::run_experiment
+
+  /// With the default (true), a trial that leaves nodes asleep is a failure
+  /// and contributes no samples. Lower-bound harnesses whose success
+  /// criterion is not "everyone awake" (e.g. NIH probing, where most of the
+  /// family intentionally sleeps) set this to false so every completed
+  /// trial is aggregated.
+  bool require_all_awake = true;
+};
+
+struct CampaignOptions {
+  std::size_t jobs = 1;        ///< worker threads; 0 = all hardware threads
+  bool progress = false;       ///< completed/total + trials/s + ETA on stderr
+  ResultSink* sink = nullptr;  ///< optional observer (e.g. JsonResultSink)
+};
+
+/// Number of grid configurations (product of axis sizes; 1 with no grid).
+std::size_t config_count(const CampaignPlan& plan);
+
+/// The full trial list in index order. CheckError on an invalid grid.
+std::vector<Trial> expand_trials(const CampaignPlan& plan);
+
+/// Runs the campaign. Per-trial exceptions are captured into TrialResult;
+/// plan-level errors (bad grid axis, zero seeds) throw.
+CampaignResult run_campaign(const CampaignPlan& plan,
+                            const CampaignOptions& options = {});
+
+/// Human-readable multi-line summary (per-config and total stats).
+std::string format_campaign(const CampaignResult& result);
+
+}  // namespace rise::runner

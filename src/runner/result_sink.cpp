@@ -1,0 +1,122 @@
+#include "runner/result_sink.hpp"
+
+#include "runner/thread_pool.hpp"
+
+namespace rise::runner {
+
+JsonResultSink::JsonResultSink(std::ostream& os, const CampaignPlan& plan,
+                               std::size_t jobs)
+    : writer_(os) {
+  writer_.begin_object();
+  writer_.kv("schema_version", kResultsSchemaVersion);
+  writer_.kv("tool", "rise_campaign");
+  writer_.key("base").begin_object();
+  writer_.kv("graph", plan.base.graph);
+  writer_.kv("schedule", plan.base.schedule);
+  writer_.kv("algo", plan.base.algorithm);
+  writer_.kv("delay", plan.base.delay);
+  writer_.kv("seed", plan.base.seed);
+  writer_.end_object();
+  writer_.kv("seed_mode", plan.seed_mode == SeedMode::kSplitMix
+                              ? "splitmix"
+                              : "sequential");
+  writer_.kv("num_seeds", static_cast<std::uint64_t>(plan.num_seeds));
+  writer_.kv("jobs", static_cast<std::uint64_t>(
+                         jobs == 0 ? ThreadPool::hardware_threads() : jobs));
+  writer_.key("grid").begin_array();
+  for (const GridAxis& axis : plan.grid) {
+    writer_.begin_object();
+    writer_.kv("param", axis.param);
+    writer_.key("values").begin_array();
+    for (const auto& v : axis.values) writer_.value(v);
+    writer_.end_array();
+    writer_.end_object();
+  }
+  writer_.end_array();
+  writer_.key("trials").begin_array();
+}
+
+void JsonResultSink::trial(const TrialResult& r) {
+  writer_.begin_object();
+  writer_.kv("trial", static_cast<std::uint64_t>(r.trial.index));
+  writer_.kv("config", static_cast<std::uint64_t>(r.trial.config_index));
+  writer_.kv("seed_index", static_cast<std::uint64_t>(r.trial.seed_index));
+  writer_.kv("seed", r.trial.spec.seed);
+  writer_.kv("graph", r.trial.spec.graph);
+  writer_.kv("schedule", r.trial.spec.schedule);
+  writer_.kv("algo", r.trial.spec.algorithm);
+  writer_.kv("delay", r.trial.spec.delay);
+  if (!r.ok) {
+    writer_.kv("error", r.error);
+  } else {
+    writer_.kv("n", r.num_nodes);
+    writer_.kv("m", static_cast<std::uint64_t>(r.num_edges));
+    writer_.kv("rho_awk", r.rho_awk);
+    writer_.kv("synchronous", r.synchronous);
+    writer_.kv("all_awake", r.all_awake);
+    writer_.kv("awake_count", r.awake_count);
+    writer_.kv("messages", r.messages);
+    writer_.kv("bits", r.bits);
+    writer_.kv("time_units", r.time_units);
+    writer_.kv("rounds", r.rounds);
+    writer_.kv("wakeup_span", r.wakeup_span);
+    writer_.kv("awake_node_ticks", r.awake_node_ticks);
+    writer_.kv("advice_max_bits",
+               static_cast<std::uint64_t>(r.advice_max_bits));
+    writer_.kv("advice_avg_bits", r.advice_avg_bits);
+  }
+  writer_.kv("wall_ms", r.wall_ms);
+  writer_.end_object();
+}
+
+void JsonResultSink::write_stats(const char* name, const SampleStats& stats) {
+  writer_.key(name).begin_object();
+  writer_.kv("count", static_cast<std::uint64_t>(stats.count()));
+  if (stats.count() > 0) {
+    writer_.kv("mean", stats.mean());
+    writer_.kv("stddev", stats.stddev());
+    writer_.kv("min", stats.min());
+    writer_.kv("median", stats.median());
+    writer_.kv("max", stats.max());
+  }
+  writer_.end_object();
+}
+
+void JsonResultSink::write_config_stats(const ConfigStats& stats) {
+  writer_.kv("trials", static_cast<std::uint64_t>(stats.trials));
+  writer_.kv("failures", static_cast<std::uint64_t>(stats.failures));
+  writer_.kv("errors", static_cast<std::uint64_t>(stats.errors));
+  write_stats("messages", stats.messages);
+  write_stats("bits", stats.bits);
+  write_stats("time_units", stats.time_units);
+  write_stats("wakeup_span", stats.wakeup_span);
+  write_stats("awake_node_ticks", stats.awake_node_ticks);
+}
+
+void JsonResultSink::summary(const CampaignResult& result) {
+  writer_.end_array();  // trials
+  writer_.key("summary").begin_object();
+  writer_.key("configs").begin_array();
+  for (const ConfigStats& config : result.configs) {
+    writer_.begin_object();
+    writer_.kv("graph", config.spec.graph);
+    writer_.kv("schedule", config.spec.schedule);
+    writer_.kv("algo", config.spec.algorithm);
+    writer_.kv("delay", config.spec.delay);
+    write_config_stats(config);
+    writer_.end_object();
+  }
+  writer_.end_array();
+  writer_.key("total").begin_object();
+  write_config_stats(result.total);
+  writer_.end_object();
+  writer_.end_object();  // summary
+  writer_.key("timing").begin_object();
+  writer_.kv("wall_ms", result.wall_ms);
+  writer_.kv("trials_per_sec", result.trials_per_sec);
+  writer_.kv("jobs", static_cast<std::uint64_t>(result.jobs));
+  writer_.end_object();
+  writer_.end_object();  // root
+}
+
+}  // namespace rise::runner

@@ -1,0 +1,49 @@
+// ResultSink implementations for the campaign runner. JsonResultSink writes
+// one machine-readable record per trial plus a summary block:
+//
+//   { "schema_version": 1,
+//     "tool": "rise_campaign",
+//     "base": { graph/schedule/algo/delay/seed },
+//     "seed_mode": "splitmix" | "sequential",
+//     "num_seeds": N, "jobs": J,
+//     "grid": [ {"param": ..., "values": [...]}, ... ],
+//     "trials": [ { trial, config, seed_index, seed, specs, n, m, rho_awk,
+//                   outcome, messages, bits, time_units, rounds,
+//                   wakeup_span, awake_node_ticks, advice, wall_ms }, ... ],
+//     "summary": { per-config and total SampleStats — deterministic },
+//     "timing":  { wall_ms, trials_per_sec — nondeterministic } }
+//
+// Everything outside "timing" and the per-trial "wall_ms" fields is a pure
+// function of the plan, so two runs of the same campaign at different --jobs
+// values differ only in those fields.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "runner/campaign.hpp"
+#include "support/json.hpp"
+
+namespace rise::runner {
+
+/// Version of the JSON results schema above. Bump on breaking changes.
+inline constexpr std::uint64_t kResultsSchemaVersion = 1;
+
+class JsonResultSink : public ResultSink {
+ public:
+  /// Writes the header immediately; summary() closes the document. The
+  /// stream must outlive the sink.
+  JsonResultSink(std::ostream& os, const CampaignPlan& plan,
+                 std::size_t jobs);
+
+  void trial(const TrialResult& result) override;
+  void summary(const CampaignResult& result) override;
+
+ private:
+  void write_stats(const char* name, const SampleStats& stats);
+  void write_config_stats(const ConfigStats& stats);
+
+  json::Writer writer_;
+};
+
+}  // namespace rise::runner

@@ -1,0 +1,90 @@
+// Work-stealing thread pool — the execution substrate of the campaign
+// runner (src/runner/campaign.hpp).
+//
+// Design: each worker owns a deque protected by its own mutex. submit()
+// round-robins tasks across the workers; a worker pops from the back of its
+// own deque (LIFO, cache-friendly) and, when empty, steals from the front of
+// a sibling's deque (FIFO, oldest first). The aggregate number of *queued*
+// tasks is bounded: submit() from outside the pool blocks until a slot
+// frees, which keeps campaign expansion memory-proportional to the bound
+// rather than to the trial count. Submission from inside a worker (nested
+// tasks) bypasses the bound and goes to the submitting worker's own deque —
+// blocking there could deadlock the pool.
+//
+// Every piece of shared state is mutex-protected (no lock-free cleverness),
+// so the pool is ThreadSanitizer-clean by construction; the tier-1 verify
+// flow runs the runner tests under TSan (see CMake option RISE_SANITIZE).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rise::runner {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// num_threads == 0 means hardware_threads().
+  explicit ThreadPool(std::size_t num_threads = 0,
+                      std::size_t queue_capacity = kDefaultCapacity);
+  ~ThreadPool();  // graceful: drains every queued task, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Blocks while `queue_capacity` tasks are already
+  /// queued (unless called from a pool worker; see file comment). Throws
+  /// CheckError after shutdown().
+  void submit(Task task);
+
+  /// Non-blocking submit; false when the queue is full or stopping.
+  bool try_submit(Task task);
+
+  /// Blocks until every submitted task has finished. Must not be called
+  /// from a pool worker. The pool remains usable afterwards.
+  void wait_idle();
+
+  /// Finishes all queued tasks, then stops and joins the workers.
+  /// Idempotent; later submits throw.
+  void shutdown();
+
+  std::size_t num_threads() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool pop_or_steal(std::size_t self, Task& out);
+  void enqueue(Task task, bool bounded);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                  // guards the counters below
+  std::condition_variable work_cv_;   // workers: wait for queued work
+  std::condition_variable space_cv_;  // submitters: wait for queue space
+  std::condition_variable idle_cv_;   // wait_idle
+  std::size_t queued_ = 0;     ///< tasks sitting in some worker deque
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::size_t rr_cursor_ = 0;  ///< round-robin submission target
+  std::size_t capacity_;
+  bool stopping_ = false;
+};
+
+}  // namespace rise::runner

@@ -31,8 +31,9 @@ double SampleStats::max() const {
 }
 
 double SampleStats::quantile(double p) const {
-  RISE_CHECK(!samples_.empty());
-  RISE_CHECK(p >= 0.0 && p <= 1.0);
+  RISE_CHECK_MSG(!samples_.empty(), "quantile of an empty sample");
+  RISE_CHECK_MSG(!std::isnan(p), "quantile(NaN)");
+  p = std::clamp(p, 0.0, 1.0);
   std::vector<double> sorted(samples_);
   std::sort(sorted.begin(), sorted.end());
   const auto rank = static_cast<std::size_t>(

@@ -19,7 +19,9 @@ class SampleStats {
   double stddev() const;
   double min() const;
   double max() const;
-  /// Exact p-quantile (nearest-rank) of the retained samples, p in [0, 1].
+  /// Exact p-quantile (nearest-rank) of the retained samples. Finite p is
+  /// clamped to [0, 1] (callers often compute p as k/n with rounding
+  /// error); NaN or an empty sample throws CheckError.
   double quantile(double p) const;
   double median() const { return quantile(0.5); }
 

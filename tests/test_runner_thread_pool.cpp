@@ -1,0 +1,177 @@
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace rise::runner {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, ResultsLandInDistinctSlots) {
+  // The campaign runner's pattern: each task owns one slot of a pre-sized
+  // vector; wait_idle() must publish every write to the caller.
+  constexpr int kTasks = 512;
+  ThreadPool pool(8);
+  std::vector<int> slots(kTasks, -1);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&slots, i] { slots[static_cast<std::size_t>(i)] = i * i; });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesEverything) {
+  // Far more tasks than the queue holds: submit() must block and resume.
+  ThreadPool pool(2, /*queue_capacity=*/4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 256; ++i) {
+    pool.submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.submit(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2, /*queue_capacity=*/256);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor = shutdown(): every already-queued task must still run.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), CheckError);
+  EXPECT_FALSE(pool.try_submit([] {}));
+}
+
+TEST(ThreadPool, TrySubmitReportsFullQueue) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  pool.submit([&] {
+    started = true;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!started) std::this_thread::yield();  // blocker is now *executing*
+  ASSERT_TRUE(pool.try_submit([] {}));         // fills the single queue slot
+  EXPECT_FALSE(pool.try_submit([] {}));        // queue full
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  EXPECT_TRUE(pool.try_submit([] {}));
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, WorkIsStolenAcrossWorkers) {
+  // One submitter round-robins tasks, but task 0 hogs its worker; the other
+  // workers must steal the remaining tasks for the pool to finish quickly.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // All 64 light tasks finish even while worker 0 is blocked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load() < 64) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  ThreadPool pool(0);  // 0 = hardware
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ManyMoreThreadsThanCoresWork) {
+  ThreadPool pool(16);
+  std::atomic<long> sum{0};
+  for (long i = 1; i <= 200; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 200L * 201L / 2);
+}
+
+}  // namespace
+}  // namespace rise::runner

@@ -1,0 +1,160 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace rise::json {
+namespace {
+
+std::string write_compact(const std::function<void(Writer&)>& body) {
+  std::ostringstream os;
+  Writer w(os, /*pretty=*/false);
+  body(w);
+  return os.str();
+}
+
+TEST(JsonWriter, ScalarsAndNesting) {
+  const std::string out = write_compact([](Writer& w) {
+    w.begin_object();
+    w.kv("a", 1);
+    w.kv("b", "two");
+    w.kv("c", true);
+    w.key("d").null();
+    w.key("e").begin_array();
+    w.value(1.5);
+    w.begin_object().kv("nested", -7).end_object();
+    w.end_array();
+    w.end_object();
+    EXPECT_TRUE(w.complete());
+  });
+  EXPECT_EQ(out,
+            R"({"a":1,"b":"two","c":true,"d":null,"e":[1.5,{"nested":-7}]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  const std::string out = write_compact([](Writer& w) {
+    w.value("q\"b\\s\nnl\ttab\x01z");
+  });
+  EXPECT_EQ(out, "\"q\\\"b\\\\s\\nnl\\ttab\\u0001z\"");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  EXPECT_EQ(write_compact([](Writer& w) {
+              w.begin_object();
+              w.key("a").begin_array().end_array();
+              w.key("o").begin_object().end_object();
+              w.end_object();
+            }),
+            R"({"a":[],"o":{}})");
+}
+
+TEST(JsonWriter, PrettyPrintsStably) {
+  std::ostringstream os;
+  Writer w(os);
+  w.begin_object();
+  w.kv("x", 1);
+  w.key("y").begin_array().value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"x\": 1,\n  \"y\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream os;
+  Writer w(os);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), CheckError);       // value without key
+  EXPECT_THROW(w.end_array(), CheckError);    // wrong container
+  w.key("k");
+  EXPECT_THROW(w.key("k2"), CheckError);      // two keys in a row
+  EXPECT_THROW(w.end_object(), CheckError);   // dangling key
+  EXPECT_THROW(w.value(
+      std::numeric_limits<double>::quiet_NaN()), CheckError);
+}
+
+TEST(JsonWriter, Uint64RoundTripsExactly) {
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  const std::string out =
+      write_compact([&](Writer& w) { w.begin_array().value(big).end_array(); });
+  const Value v = parse(out);
+  ASSERT_TRUE(v.at(std::size_t{0}).is_integer);
+  EXPECT_EQ(v.at(std::size_t{0}).u64, big);
+}
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_EQ(parse("null").type, Value::Type::kNull);
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_DOUBLE_EQ(parse("-2.5e2").number, -250.0);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+  EXPECT_EQ(parse("  42  ").i64, 42);
+  EXPECT_EQ(parse("-7").i64, -7);
+}
+
+TEST(JsonReader, ParsesNestedDocuments) {
+  const Value v = parse(R"({"a": [1, {"b": "x"}, null], "c": {"d": true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 2u);
+  const Value& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  EXPECT_EQ(a.at(std::size_t{0}).i64, 1);
+  EXPECT_EQ(a.at(std::size_t{1}).at("b").string, "x");
+  EXPECT_TRUE(a.at(std::size_t{2}).is_null());
+  EXPECT_TRUE(v.at("c").at("d").boolean);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), CheckError);
+  EXPECT_THROW(a.at(std::size_t{3}), CheckError);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\ne\tf")").string, "a\"b\\c/d\ne\tf");
+  EXPECT_EQ(parse(R"("\u0041\u00e9")").string, "A\xc3\xa9");
+  EXPECT_EQ(parse(R"("\ud83d\ude00")").string, "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "[1 2]", "{\"a\" 1}", "{\"a\":}", "tru", "nul",
+        "\"unterminated", "\"bad\\q\"", "01x", "1.2.3", "[1]:", "{\"a\":1,}",
+        "\"\\ud800\"", "\"\x01\""}) {
+    EXPECT_THROW(parse(bad), CheckError) << "input: " << bad;
+  }
+}
+
+TEST(JsonRoundTrip, WriteParseRewriteIsIdentity) {
+  const auto build = [](Writer& w) {
+    w.begin_object();
+    w.kv("name", "campaign \"x\"\n");
+    w.kv("count", std::uint64_t{1234567890123456789ull});
+    w.kv("ratio", 0.1);
+    w.key("list").begin_array();
+    for (int i = 0; i < 3; ++i) w.value(i);
+    w.end_array();
+    w.end_object();
+  };
+  const std::string once = write_compact(build);
+  const Value v = parse(once);
+  EXPECT_EQ(v.at("name").string, "campaign \"x\"\n");
+  EXPECT_EQ(v.at("count").u64, 1234567890123456789ull);
+  EXPECT_DOUBLE_EQ(v.at("ratio").number, 0.1);
+
+  // Re-serialize from the parsed DOM and compare byte-for-byte.
+  const std::string twice = write_compact([&](Writer& w) {
+    w.begin_object();
+    w.kv("name", v.at("name").string);
+    w.kv("count", v.at("count").u64);
+    w.kv("ratio", v.at("ratio").number);
+    w.key("list").begin_array();
+    for (const Value& e : v.at("list").array) w.value(e.i64);
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace rise::json

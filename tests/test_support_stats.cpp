@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -39,7 +41,18 @@ TEST(SampleStats, EmptyThrowsOnQuery) {
   SampleStats s;
   EXPECT_THROW(s.min(), CheckError);
   EXPECT_THROW(s.quantile(0.5), CheckError);
+  EXPECT_THROW(s.median(), CheckError);  // regression: empty median
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);  // mean of nothing is defined as 0
+}
+
+TEST(SampleStats, QuantileClampsOutOfRangeP) {
+  SampleStats s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  // Callers compute p as k/n with rounding error; finite overshoot clamps.
+  EXPECT_DOUBLE_EQ(s.quantile(-0.2), s.min());
+  EXPECT_DOUBLE_EQ(s.quantile(1.7), s.max());
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 + 1e-12), s.max());
+  EXPECT_THROW(s.quantile(std::nan("")), CheckError);
 }
 
 TEST(SampleStats, WelfordMatchesUniformMoments) {

@@ -2,15 +2,27 @@
 //
 //   rise_cli --graph gnp:1000:0.01 --algo ranked_dfs
 //            --schedule staggered:10:2 --delay random:5 --seed 7
+//   rise_cli --graph gnp:2000:0.005 --algo ranked_dfs --seeds 64
+//            --jobs 8 --json out.json        # parallel campaign
+//   rise_cli --seeds 16 --grid algo=flooding,ranked_dfs,cen
 //   rise_cli --list                  # algorithm catalog
 //   rise_cli --dot grid:4x4          # emit Graphviz DOT for a topology
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "app/spec.hpp"
 #include "graph/io.hpp"
+#include "runner/campaign.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/thread_pool.hpp"
 #include "support/check.hpp"
 
 namespace {
@@ -18,9 +30,28 @@ namespace {
 void usage() {
   std::printf(
       "usage: rise_cli [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
-      "                [--delay SPEC] [--seed N] [--seeds COUNT]\n"
+      "                [--delay SPEC] [--seed N] [--seeds COUNT] [--jobs N]\n"
+      "                [--json PATH] [--grid PARAM=a,b,c]... [--progress]\n"
       "       rise_cli --list\n"
       "       rise_cli --dot GRAPH_SPEC [--seed N]\n\n"
+      "single run: every random choice derives from --seed (default 1).\n\n"
+      "campaigns (enabled by --seeds > 1, --grid, --json, or --jobs):\n"
+      "  --seeds COUNT     trials per grid config. --seed is the base of the\n"
+      "                    campaign: each trial's seed is derived from\n"
+      "                    (seed, trial index) via SplitMix64, so changing\n"
+      "                    --seed shifts every trial and results are\n"
+      "                    bit-identical for any --jobs value.\n"
+      "  --jobs N          worker threads (0 = all hardware threads;\n"
+      "                    default 1)\n"
+      "  --json PATH       structured results: one record per trial plus a\n"
+      "                    summary block (schema_version %llu)\n"
+      "  --grid P=a,b,c    sweep spec param P in {graph, schedule, algo,\n"
+      "                    delay}; repeatable, axes combine as a cartesian\n"
+      "                    product\n"
+      "  --progress        completed/total + trials/s + ETA on stderr\n"
+      "                    (auto-enabled on a tty)\n\n"
+      "(the library call app::run_sweep keeps the legacy sequential seeds\n"
+      " base, base+1, ... for reproducing pre-campaign sweeps)\n\n"
       "spec grammars (see src/app/spec.hpp for the full list):\n"
       "  graph:    gnp:N:P | cgnp:N:P | grid:RxC | torus:RxC | star:N |\n"
       "            regular:N:D | dkq:K:Q | kt0family:N | kt1family:K:Q | ...\n"
@@ -29,7 +60,20 @@ void usage() {
       "  delay:    unit | fixed:TAU | random:TAU | slow:TAU:ONE_IN |\n"
       "            congestion:TAU\n"
       "  algo:     flooding | ranked_dfs | fast_wakeup | fip06 | cen |\n"
-      "            spanner:K | cor2 | beta:B | ...\n");
+      "            spanner:K | cor2 | beta:B | ...\n",
+      static_cast<unsigned long long>(rise::runner::kResultsSchemaVersion));
+}
+
+std::uint64_t parse_count(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 }  // namespace
@@ -38,8 +82,13 @@ int main(int argc, char** argv) {
   using namespace rise;
   app::ExperimentSpec spec;
   std::string dot_graph;
+  std::string json_path;
+  std::vector<std::string> grid_args;
   bool list = false;
+  bool progress = false;
+  bool campaign_mode = false;
   std::size_t seeds = 1;
+  std::size_t jobs = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -58,9 +107,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--delay") {
       spec.delay = value();
     } else if (arg == "--seed") {
-      spec.seed = std::stoull(value());
+      spec.seed = parse_count(arg, value());
     } else if (arg == "--seeds") {
-      seeds = std::stoull(value());
+      seeds = parse_count(arg, value());
+    } else if (arg == "--jobs") {
+      jobs = parse_count(arg, value());
+      campaign_mode = true;
+    } else if (arg == "--json") {
+      json_path = value();
+      campaign_mode = true;
+    } else if (arg == "--grid") {
+      grid_args.push_back(value());
+      campaign_mode = true;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--dot") {
       dot_graph = value();
     } else if (arg == "--list") {
@@ -74,6 +134,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (seeds > 1) campaign_mode = true;
 
   try {
     if (list) {
@@ -88,15 +149,44 @@ int main(int argc, char** argv) {
       graph::write_dot(std::cout, app::parse_graph_spec(dot_graph, rng));
       return 0;
     }
-    if (seeds > 1) {
-      const auto sweep = app::run_sweep(spec, seeds);
-      std::fputs(app::format_sweep(sweep).c_str(), stdout);
-      return sweep.failures == 0 ? 0 : 1;
+    if (campaign_mode) {
+      runner::CampaignPlan plan;
+      plan.base = spec;
+      plan.num_seeds = seeds;
+      for (const auto& axis : grid_args) {
+        plan.grid.push_back(runner::parse_grid_axis(axis));
+      }
+      runner::CampaignOptions options;
+      options.jobs = jobs == 0 ? runner::ThreadPool::hardware_threads() : jobs;
+      options.progress = progress || isatty(fileno(stderr)) != 0;
+
+      std::ofstream json_out;
+      std::unique_ptr<runner::JsonResultSink> sink;
+      if (!json_path.empty()) {
+        json_out.open(json_path);
+        if (!json_out) {
+          std::fprintf(stderr, "error: cannot open %s for writing\n",
+                       json_path.c_str());
+          return 2;
+        }
+        sink = std::make_unique<runner::JsonResultSink>(json_out, plan,
+                                                        options.jobs);
+      }
+      options.sink = sink.get();
+
+      const auto result = runner::run_campaign(plan, options);
+      std::fputs(runner::format_campaign(result).c_str(), stdout);
+      if (!json_path.empty()) {
+        json_out << "\n";
+        std::printf("json      : %s (%zu trial records)\n", json_path.c_str(),
+                    result.trials.size());
+      }
+      return result.total.failures == 0 && result.total.errors == 0 ? 0 : 1;
     }
     const auto report = app::run_experiment(spec);
     std::fputs(app::format_report(report).c_str(), stdout);
     return report.result.all_awake() ? 0 : 1;
-  } catch (const CheckError& e) {
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
