@@ -40,7 +40,36 @@ void BM_AsyncFloodingEvents(benchmark::State& state) {
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_AsyncFloodingEvents)->Arg(1000)->Arg(4000);
+// n = 10^4 is the acceptance-gate size for the engine refactor; see
+// EXPERIMENTS.md "Engine micro-benchmarks" and BENCH_engine_micro.json.
+BENCHMARK(BM_AsyncFloodingEvents)->Arg(1000)->Arg(4000)->Arg(10000);
+
+/// Same flooding workload under adversarial random delays in [1, tau], run
+/// once per timeline backend so a regression in either the calendar queue or
+/// the heap fallback is visible in isolation.
+void BM_AsyncFloodingTimeline(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto mode = state.range(1) == 0 ? sim::EventQueue::Mode::kBuckets
+                                        : sim::EventQueue::Mode::kHeap;
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT0);
+  const auto delays = sim::random_delay(16, 5);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::AsyncEngine engine(inst, *delays, sim::wake_single(0), 1);
+    engine.set_event_queue_mode(mode);
+    const auto result = engine.run(algo::flooding_factory());
+    events += result.metrics.events;
+    benchmark::DoNotOptimize(result.metrics.messages);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AsyncFloodingTimeline)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->ArgNames({"n", "heap"});
 
 void BM_SyncFloodingRounds(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

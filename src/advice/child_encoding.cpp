@@ -98,7 +98,7 @@ class ChildEncodingProcess final : public sim::Process {
         // Our parent is clearly awake; answer with our next-sibling pair so
         // the parent can continue the binary dissemination.
         parent_notified_ = true;
-        std::vector<std::uint64_t> payload;
+        sim::PayloadWords payload;
         payload.push_back(
             (advice_.has_next_a ? 1u : 0u) | (advice_.has_next_b ? 2u : 0u));
         payload.push_back(advice_.has_next_a ? advice_.next_a : 0);

@@ -132,7 +132,7 @@ class SpannerProcess final : public sim::Process {
         RISE_CHECK_MSG(it != advice_.records.end(),
                        "spanner wake arrived over a non-spanner edge");
         const NextPair& next = it->second;
-        std::vector<std::uint64_t> payload{
+        sim::PayloadWords payload{
             (next.has_a ? 1u : 0u) | (next.has_b ? 2u : 0u),
             next.has_a ? next.a : 0, next.has_b ? next.b : 0};
         ctx.send(in.port, sim::make_message(kSpNext, std::move(payload),

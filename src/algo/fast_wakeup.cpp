@@ -20,11 +20,11 @@ using sim::Port;
 
 Message labels_message(std::uint32_t type, Label root,
                        const std::vector<Label>& labels, unsigned label_bits) {
-  std::vector<std::uint64_t> payload;
+  sim::PayloadWords payload;
   payload.reserve(2 + labels.size());
   payload.push_back(root);
   payload.push_back(labels.size());
-  payload.insert(payload.end(), labels.begin(), labels.end());
+  payload.append(labels.begin(), labels.end());
   return sim::make_message(type, std::move(payload),
                            16 + label_bits * (1 + labels.size()));
 }
@@ -33,12 +33,12 @@ Message labels_message(std::uint32_t type, Label root,
 Message groups_message(std::uint32_t type, Label root,
                        const std::map<Label, std::vector<Label>>& groups,
                        unsigned label_bits) {
-  std::vector<std::uint64_t> payload{root, groups.size()};
+  sim::PayloadWords payload{root, groups.size()};
   std::uint64_t label_count = 1;
   for (const auto& [key, labels] : groups) {
     payload.push_back(key);
     payload.push_back(labels.size());
-    payload.insert(payload.end(), labels.begin(), labels.end());
+    payload.append(labels.begin(), labels.end());
     label_count += 1 + labels.size();
   }
   return sim::make_message(type, std::move(payload),

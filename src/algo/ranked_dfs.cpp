@@ -29,12 +29,12 @@ struct TokenView {
 Message encode_token(std::uint64_t rank, Label origin,
                      const std::vector<Label>& visited, unsigned label_bits,
                      unsigned rank_bits) {
-  std::vector<std::uint64_t> payload;
+  sim::PayloadWords payload;
   payload.reserve(3 + visited.size());
   payload.push_back(rank);
   payload.push_back(origin);
   payload.push_back(visited.size());
-  payload.insert(payload.end(), visited.begin(), visited.end());
+  payload.append(visited.begin(), visited.end());
   // Logical size: rank + origin + the full visited list (LOCAL model).
   const std::uint64_t bits =
       rank_bits + label_bits * (1 + visited.size()) + 32;
@@ -165,8 +165,8 @@ class RankedDfs final : public sim::Process {
                                                 visited.end());
     const auto labels = ctx.neighbor_labels();
     auto encode = [&] {
-      std::vector<std::uint64_t> payload{leader, visited.size()};
-      payload.insert(payload.end(), visited.begin(), visited.end());
+      sim::PayloadWords payload{leader, visited.size()};
+      payload.append(visited.begin(), visited.end());
       return sim::make_message(
           kDfsLeader, std::move(payload),
           ctx.label_bits() * (2 + visited.size()) + 32);

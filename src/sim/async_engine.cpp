@@ -1,119 +1,69 @@
 #include "sim/async_engine.hpp"
 
 #include <algorithm>
-#include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/engine_core.hpp"
+#include "sim/event_queue.hpp"
 #include "support/check.hpp"
 
 namespace rise::sim {
 
 namespace {
 
-enum class EventKind : std::uint8_t { kWake, kDeliver };
-
-struct Event {
-  Time t;
-  std::uint64_t seq;  // tie-break: engine processes in schedule order
-  EventKind kind;
-  NodeId node;          // wake target / delivery receiver
-  Port port;            // receiver port (deliver only)
-  Message msg;          // (deliver only)
-};
-
-struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.t != b.t) return a.t > b.t;
-    return a.seq > b.seq;
-  }
-};
-
+/// Per-directed-channel state, indexed by Instance::directed_edge_id — a
+/// flat array lookup where the engine previously hashed a (from, to) key.
 struct ChannelState {
-  std::uint64_t msg_index = 0;     // messages sent so far on this channel
-  Time last_delivery = 0;          // FIFO clamp
+  std::uint64_t msg_index = 0;  // messages sent so far on this channel
+  Time last_delivery = 0;       // FIFO clamp
 };
 
-class EngineImpl;
+class AsyncImpl;
 
-class NodeContext final : public Context {
+class AsyncContext final : public CoreContext {
  public:
-  NodeContext(EngineImpl& engine, const Instance& instance)
-      : engine_(engine), instance_(instance) {}
-
-  void attach(NodeId node) { node_ = node; }
-
-  Label my_label() const override { return instance_.label(node_); }
-  NodeId degree() const override { return instance_.graph().degree(node_); }
-  Knowledge knowledge() const override { return instance_.knowledge(); }
-  Bandwidth bandwidth() const override { return instance_.bandwidth(); }
-  unsigned label_bits() const override { return instance_.label_bits(); }
-  std::uint64_t n_upper_bound() const override {
-    return std::uint64_t{1} << instance_.label_bits();
-  }
-
-  std::span<const Label> neighbor_labels() const override {
-    RISE_CHECK_MSG(instance_.knowledge() == Knowledge::KT1,
-                   "neighbor IDs are not available under KT0");
-    return instance_.neighbor_labels_by_port(node_);
-  }
+  AsyncContext(AsyncImpl& engine, EngineCore& core)
+      : CoreContext(core), engine_(engine) {}
 
   void send(Port p, Message msg) override;
-  void send_to_label(Label neighbor, Message msg) override;
-
   Time now() const override;
   std::uint64_t local_round() const override { return 0; }
   void request_tick() override {
     RISE_CHECK_MSG(false, "request_tick is a synchronous-engine feature");
   }
 
-  Rng& rng() override;
-  const BitString& advice() const override { return instance_.advice(node_); }
-  void set_output(std::uint64_t value) override;
-
-  NodeId node() const { return node_; }
-
  private:
-  EngineImpl& engine_;
-  const Instance& instance_;
-  NodeId node_ = kInvalidNode;
+  AsyncImpl& engine_;
 };
 
-class EngineImpl {
+class AsyncImpl {
  public:
-  EngineImpl(const Instance& instance, const DelayPolicy& delays,
-             const WakeSchedule& schedule, std::uint64_t seed,
-             const ProcessFactory& factory, const RunLimits& limits,
-             TraceSink* trace)
-      : instance_(instance),
+  AsyncImpl(const Instance& instance, const DelayPolicy& delays,
+            const WakeSchedule& schedule, std::uint64_t seed,
+            const ProcessFactory& factory, const RunLimits& limits,
+            TraceSink* trace, EventQueue::Mode queue_mode)
+      : core_(instance, delays.max_delay(), seed, factory, trace),
         delays_(delays),
         limits_(limits),
-        seed_(seed),
-        trace_(trace),
-        ctx_(*this, instance) {
+        ctx_(*this, core_),
+        channels_(instance.num_directed_edges()),
+        events_(delays.max_delay(), queue_mode) {
     const NodeId n = instance.num_nodes();
-    processes_.resize(n);
-    for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
-    awake_.assign(n, false);
-    result_.wake_time.assign(n, kNever);
-    result_.outputs.assign(n, kNoOutput);
-    result_.metrics.tau = delays.max_delay();
-    result_.metrics.sent_per_node.assign(n, 0);
-    result_.metrics.received_per_node.assign(n, 0);
     for (const auto& [t, u] : schedule.wakes) {
       RISE_CHECK(u < n);
-      push_event({t, next_seq_++, EventKind::kWake, u, kInvalidPort, {}});
+      events_.push({t, next_seq_++, EventKind::kWake, u, kInvalidPort, {}});
     }
   }
 
   RunResult run() {
+    const Instance& instance = core_.instance();
+    Metrics& metrics = core_.result().metrics;
+    TraceSink* trace = core_.trace();
     while (!events_.empty()) {
-      Event ev = std::move(const_cast<Event&>(events_.top()));
-      events_.pop();
+      Event ev = events_.pop();
       now_ = ev.t;
-      ++result_.metrics.events;
-      RISE_CHECK_MSG(result_.metrics.events <= limits_.max_events,
+      ++metrics.events;
+      RISE_CHECK_MSG(metrics.events <= limits_.max_events,
                      "async engine exceeded max_events ("
                          << limits_.max_events << ") — runaway algorithm?");
       switch (ev.kind) {
@@ -121,38 +71,30 @@ class EngineImpl {
           wake_node(ev.node, WakeCause::kAdversary);
           break;
         case EventKind::kDeliver: {
-          ++result_.metrics.deliveries;
-          ++result_.metrics.received_per_node[ev.node];
-          result_.metrics.last_delivery = std::max(
-              result_.metrics.last_delivery, ev.t);
-          if (trace_ != nullptr) {
-            trace_->on_deliver(ev.t,
-                               instance_.port_to_neighbor(ev.node, ev.port),
-                               ev.node, ev.msg);
+          core_.account_delivery(ev.node, ev.t);
+          if (trace != nullptr) {
+            trace->on_deliver(ev.t, instance.port_to_neighbor(ev.node, ev.port),
+                              ev.node, ev.msg);
           }
           wake_node(ev.node, WakeCause::kMessage);
           ctx_.attach(ev.node);
           Incoming in{ev.port, std::move(ev.msg)};
-          processes_[ev.node]->on_message(ctx_, in);
+          core_.process(ev.node).on_message(ctx_, in);
           break;
         }
       }
     }
-    return std::move(result_);
+    return core_.take_result();
   }
 
   void send_from(NodeId from, Port p, Message msg) {
-    RISE_CHECK_MSG(p < instance_.graph().degree(from),
+    const Instance& instance = core_.instance();
+    RISE_CHECK_MSG(p < instance.graph().degree(from),
                    "send on invalid port " << p << " at node " << from);
-    if (instance_.bandwidth() == Bandwidth::CONGEST) {
-      RISE_CHECK_MSG(msg.logical_bits() <= instance_.congest_bit_budget(),
-                     "CONGEST violation: message of "
-                         << msg.logical_bits() << " bits exceeds budget of "
-                         << instance_.congest_bit_budget());
-    }
-    const NodeId to = instance_.port_to_neighbor(from, p);
-    if (trace_ != nullptr) trace_->on_send(now_, from, to, msg);
-    auto& chan = channels_[channel_key(from, to)];
+    core_.account_send(from, msg);
+    const NodeId to = instance.port_to_neighbor(from, p);
+    if (core_.trace() != nullptr) core_.trace()->on_send(now_, from, to, msg);
+    auto& chan = channels_[instance.directed_edge_id(from, p)];
     const Time d = delays_.delay(from, to, chan.msg_index, now_);
     RISE_CHECK_MSG(d >= 1 && d <= delays_.max_delay(),
                    "delay policy out of range");
@@ -161,89 +103,39 @@ class EngineImpl {
     arrive = std::max(arrive, chan.last_delivery);  // FIFO clamp
     chan.last_delivery = arrive;
 
-    ++result_.metrics.messages;
-    result_.metrics.bits += msg.logical_bits();
-    ++result_.metrics.sent_per_node[from];
+    // A delivery clamped past max_time is dropped: the send was already
+    // charged, so metrics.deliveries stays <= metrics.messages.
     if (limits_.max_time != kNever && arrive > limits_.max_time) return;
-    const Port receiver_port = instance_.neighbor_to_port(to, from);
-    push_event({arrive, next_seq_++, EventKind::kDeliver, to, receiver_port,
-                std::move(msg)});
+    const Port receiver_port = instance.reverse_port(from, p);
+    events_.push({arrive, next_seq_++, EventKind::kDeliver, to, receiver_port,
+                  std::move(msg)});
   }
 
   Time now() const { return now_; }
 
-  Rng& node_rng(NodeId u) {
-    auto it = rngs_.find(u);
-    if (it == rngs_.end()) {
-      it = rngs_.emplace(u, Rng(mix_seed(seed_, u))).first;
-    }
-    return it->second;
-  }
-
-  void set_output(NodeId u, std::uint64_t value) { result_.outputs[u] = value; }
-
-  const Instance& instance() const { return instance_; }
-
  private:
-  static std::uint64_t channel_key(NodeId from, NodeId to) {
-    return (static_cast<std::uint64_t>(from) << 32) | to;
-  }
-
-  void push_event(Event ev) { events_.push(std::move(ev)); }
-
   void wake_node(NodeId u, WakeCause cause) {
-    if (awake_[u]) return;
-    awake_[u] = true;
-    result_.wake_time[u] = now_;
-    result_.metrics.first_wake = std::min(result_.metrics.first_wake, now_);
-    result_.metrics.last_wake = std::max(result_.metrics.last_wake, now_);
-    if (trace_ != nullptr) trace_->on_node_wake(now_, u, cause);
+    if (!core_.mark_awake(u, now_, cause)) return;
     ctx_.attach(u);
-    processes_[u]->on_wake(ctx_, cause);
+    core_.process(u).on_wake(ctx_, cause);
   }
 
-  const Instance& instance_;
+  EngineCore core_;
   const DelayPolicy& delays_;
   RunLimits limits_;
-  std::uint64_t seed_;
-  TraceSink* trace_;
-  NodeContext ctx_;
+  AsyncContext ctx_;
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<ChannelState> channels_;
+  EventQueue events_;
   std::uint64_t next_seq_ = 0;
   Time now_ = 0;
-  std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<bool> awake_;
-  std::unordered_map<std::uint64_t, ChannelState> channels_;
-  std::unordered_map<NodeId, Rng> rngs_;
-  RunResult result_;
 };
 
-void NodeContext::send(Port p, Message msg) {
+void AsyncContext::send(Port p, Message msg) {
   engine_.send_from(node_, p, std::move(msg));
 }
 
-void NodeContext::send_to_label(Label neighbor, Message msg) {
-  RISE_CHECK_MSG(instance_.knowledge() == Knowledge::KT1,
-                 "addressing by neighbor ID requires KT1");
-  const auto labels = instance_.neighbor_labels_by_port(node_);
-  for (Port p = 0; p < labels.size(); ++p) {
-    if (labels[p] == neighbor) {
-      engine_.send_from(node_, p, std::move(msg));
-      return;
-    }
-  }
-  RISE_CHECK_MSG(false, "node " << instance_.label(node_)
-                                << " has no neighbor with ID " << neighbor);
-}
-
-Time NodeContext::now() const { return engine_.now(); }
-
-Rng& NodeContext::rng() { return engine_.node_rng(node_); }
-
-void NodeContext::set_output(std::uint64_t value) {
-  engine_.set_output(node_, value);
-}
+Time AsyncContext::now() const { return engine_.now(); }
 
 }  // namespace
 
@@ -256,8 +148,8 @@ AsyncEngine::AsyncEngine(const Instance& instance, const DelayPolicy& delays,
 
 RunResult AsyncEngine::run(const ProcessFactory& factory,
                            const RunLimits& limits) {
-  EngineImpl impl(instance_, delays_, schedule_, seed_, factory, limits,
-                  trace_);
+  AsyncImpl impl(instance_, delays_, schedule_, seed_, factory, limits,
+                 trace_, queue_mode_);
   return impl.run();
 }
 

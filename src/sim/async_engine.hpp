@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "sim/delay_policy.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/instance.hpp"
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
@@ -42,8 +43,14 @@ class AsyncEngine {
   /// never perturbs the run. Must outlive run().
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Force a specific event-timeline backend (testing / benchmarking only;
+  /// both backends produce bit-identical runs). Default: kAuto picks the
+  /// calendar queue for tau <= EventQueue::kMaxBucketSpan, else the heap.
+  void set_event_queue_mode(EventQueue::Mode mode) { queue_mode_ = mode; }
+
  private:
   TraceSink* trace_ = nullptr;
+  EventQueue::Mode queue_mode_ = EventQueue::Mode::kAuto;
   const Instance& instance_;
   const DelayPolicy& delays_;
   WakeSchedule schedule_;

@@ -1,0 +1,63 @@
+#include "sim/engine_core.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rise::sim {
+
+EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
+                       const ProcessFactory& factory, TraceSink* trace)
+    : instance_(instance), trace_(trace) {
+  const NodeId n = instance.num_nodes();
+  processes_.resize(n);
+  for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
+  rngs_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) rngs_.emplace_back(mix_seed(seed, u));
+  awake_.assign(n, 0);
+  result_.wake_time.assign(n, kNever);
+  result_.outputs.assign(n, kNoOutput);
+  result_.metrics.tau = tau;
+  result_.metrics.sent_per_node.assign(n, 0);
+  result_.metrics.received_per_node.assign(n, 0);
+}
+
+void EngineCore::account_send(NodeId from, const Message& msg) {
+  if (instance_.bandwidth() == Bandwidth::CONGEST) {
+    RISE_CHECK_MSG(msg.logical_bits() <= instance_.congest_bit_budget(),
+                   "CONGEST violation: message of "
+                       << msg.logical_bits() << " bits exceeds budget of "
+                       << instance_.congest_bit_budget());
+  }
+  ++result_.metrics.messages;
+  result_.metrics.bits += msg.logical_bits();
+  ++result_.metrics.sent_per_node[from];
+}
+
+void EngineCore::account_delivery(NodeId to, Time t, std::uint64_t count) {
+  result_.metrics.deliveries += count;
+  result_.metrics.received_per_node[to] += static_cast<std::uint32_t>(count);
+  result_.metrics.last_delivery = std::max(result_.metrics.last_delivery, t);
+}
+
+bool EngineCore::mark_awake(NodeId u, Time t, WakeCause cause) {
+  if (awake_[u] != 0) return false;
+  awake_[u] = 1;
+  result_.wake_time[u] = t;
+  result_.metrics.first_wake = std::min(result_.metrics.first_wake, t);
+  result_.metrics.last_wake = std::max(result_.metrics.last_wake, t);
+  if (trace_ != nullptr) trace_->on_node_wake(t, u, cause);
+  return true;
+}
+
+std::span<const Label> CoreContext::neighbor_labels() const {
+  RISE_CHECK_MSG(instance_.knowledge() == Knowledge::KT1,
+                 "neighbor IDs are not available under KT0");
+  return instance_.neighbor_labels_by_port(node_);
+}
+
+void CoreContext::send_to_label(Label neighbor, Message msg) {
+  send(instance_.port_of_label(node_, neighbor), std::move(msg));
+}
+
+}  // namespace rise::sim

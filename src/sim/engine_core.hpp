@@ -1,0 +1,102 @@
+// State and bookkeeping shared by the asynchronous and synchronous engines.
+//
+// Both engines own the same per-node machinery — one Process per node, an
+// awake flag, a private RNG stream, wake/send/delivery metrics, CONGEST
+// budget enforcement, and the common Context surface (identity, knowledge,
+// advice, O(1) send-to-label) — and differ only in how they move time
+// forward. EngineCore holds that machinery in flat, node-indexed vectors;
+// the engines layer their event loop (bucketed timeline / round loop) on
+// top.
+//
+// All state is graph-indexed: RNG streams live in a std::vector<Rng> seeded
+// eagerly with mix_seed(seed, node) — the same per-node streams the engines
+// previously created lazily through a hash map, so runs are bit-identical.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/instance.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+#include "sim/trace.hpp"
+
+namespace rise::sim {
+
+class EngineCore {
+ public:
+  /// `tau` is recorded in the metrics (the time-unit normalizer); the
+  /// synchronous engine passes 1.
+  EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
+             const ProcessFactory& factory, TraceSink* trace);
+
+  const Instance& instance() const { return instance_; }
+  TraceSink* trace() const { return trace_; }
+  RunResult& result() { return result_; }
+  RunResult take_result() { return std::move(result_); }
+
+  Process& process(NodeId u) { return *processes_[u]; }
+  bool is_awake(NodeId u) const { return awake_[u] != 0; }
+  Rng& node_rng(NodeId u) { return rngs_[u]; }
+  void set_output(NodeId u, std::uint64_t value) { result_.outputs[u] = value; }
+
+  /// CONGEST enforcement plus send-side metrics (messages, bits,
+  /// sent_per_node). Call exactly once per send, before enqueueing.
+  void account_send(NodeId from, const Message& msg);
+
+  /// Delivery-side metrics (deliveries, received_per_node, last_delivery).
+  void account_delivery(NodeId to, Time t, std::uint64_t count = 1);
+
+  /// Marks u awake at time t: flags, wake_time, first/last-wake metrics and
+  /// the trace callback. Returns false (a no-op) if u was already awake.
+  /// Does NOT call Process::on_wake — the engines do, after their own
+  /// engine-specific bookkeeping (e.g. the sync engine's local-round base).
+  bool mark_awake(NodeId u, Time t, WakeCause cause);
+
+ private:
+  const Instance& instance_;
+  TraceSink* trace_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Rng> rngs_;
+  std::vector<std::uint8_t> awake_;
+  RunResult result_;
+};
+
+/// The Context surface both engines share. Engine subclasses add the
+/// time-model-specific pieces: send(), now(), local_round(), request_tick().
+class CoreContext : public Context {
+ public:
+  explicit CoreContext(EngineCore& core)
+      : core_(core), instance_(core.instance()) {}
+
+  void attach(NodeId node) { node_ = node; }
+  NodeId node() const { return node_; }
+
+  Label my_label() const override { return instance_.label(node_); }
+  NodeId degree() const override { return instance_.graph().degree(node_); }
+  Knowledge knowledge() const override { return instance_.knowledge(); }
+  Bandwidth bandwidth() const override { return instance_.bandwidth(); }
+  unsigned label_bits() const override { return instance_.label_bits(); }
+  std::uint64_t n_upper_bound() const override {
+    return std::uint64_t{1} << instance_.label_bits();
+  }
+
+  std::span<const Label> neighbor_labels() const override;
+
+  /// KT1 addressing via the instance's per-node label→port index: O(1)
+  /// rather than a scan over the neighbor list.
+  void send_to_label(Label neighbor, Message msg) override;
+
+  Rng& rng() override { return core_.node_rng(node_); }
+  const BitString& advice() const override { return instance_.advice(node_); }
+  void set_output(std::uint64_t value) override {
+    core_.set_output(node_, value);
+  }
+
+ protected:
+  EngineCore& core_;
+  const Instance& instance_;
+  NodeId node_ = kInvalidNode;
+};
+
+}  // namespace rise::sim

@@ -1,0 +1,108 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace rise::sim {
+
+namespace {
+
+/// "a is processed after b" — strict weak order for min-heap-via-max-heap.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventQueue::EventQueue(Time max_delay, Mode mode) {
+  switch (mode) {
+    case Mode::kAuto:
+      buckets_on_ = max_delay <= kMaxBucketSpan;
+      break;
+    case Mode::kBuckets:
+      buckets_on_ = true;
+      break;
+    case Mode::kHeap:
+      buckets_on_ = false;
+      break;
+  }
+  if (buckets_on_) {
+    // B > max_delay so a delivery scheduled while processing time `cursor_`
+    // can never wrap onto the bucket currently being drained.
+    num_buckets_ = std::max<std::size_t>(64, next_pow2(max_delay + 2));
+    mask_ = num_buckets_ - 1;
+    buckets_.resize(num_buckets_);
+  }
+}
+
+void EventQueue::push(Event ev) {
+  RISE_DCHECK(ev.t >= cursor_);
+  ++size_;
+  if (buckets_on_ && ev.t - cursor_ < num_buckets_) {
+    buckets_[ev.t & mask_].push_back(std::move(ev));
+    ++ring_size_;
+  } else {
+    heap_push(std::move(ev));
+  }
+}
+
+Event EventQueue::pop() {
+  RISE_CHECK_MSG(size_ != 0, "pop on empty event queue");
+  --size_;
+  if (!buckets_on_) return heap_pop();
+  for (;;) {
+    auto& slot = buckets_[cursor_ & mask_];
+    if (cursor_pos_ < slot.size()) {
+      Event ev = std::move(slot[cursor_pos_++]);
+      --ring_size_;
+      return ev;
+    }
+    // The current tick is drained; free the slot for reuse one lap later.
+    slot.clear();
+    cursor_pos_ = 0;
+    if (ring_size_ != 0) {
+      ++cursor_;
+    } else if (!heap_.empty()) {
+      cursor_ = heap_.front().t;  // leap over the idle gap
+    } else {
+      RISE_CHECK_MSG(false, "event queue size corrupted");
+    }
+    migrate();
+  }
+}
+
+void EventQueue::migrate() {
+  while (!heap_.empty() && heap_.front().t - cursor_ < num_buckets_) {
+    // Heap pops ascend in (t, seq), and every pending direct push carries a
+    // larger seq than any overflow event of the same tick (overflow events
+    // were pushed before the cursor could reach their horizon), so plain
+    // appends keep each bucket seq-sorted.
+    Event ev = heap_pop();
+    buckets_[ev.t & mask_].push_back(std::move(ev));
+    ++ring_size_;
+  }
+}
+
+void EventQueue::heap_push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+Event EventQueue::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+}  // namespace rise::sim

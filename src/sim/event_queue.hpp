@@ -1,0 +1,88 @@
+// The asynchronous engine's event timeline.
+//
+// Events are totally ordered by (time, seq): seq is a globally increasing
+// sequence number assigned at push time, so ties at one tick are processed
+// in schedule order — the exact contract the original binary-heap engine
+// implemented, preserved here so traces stay bit-identical.
+//
+// Two interchangeable backends:
+//   * Calendar (bucket) queue — exploits that every *message* delay lies in
+//     [1, tau]: a delivery scheduled at time `now` lands within
+//     (now, now + tau], so a ring of B > tau buckets indexed by t mod B
+//     gives O(1) push and amortized O(1) pop. Adversary wake-ups may lie
+//     arbitrarily far in the future; those wait in an overflow heap and
+//     migrate into the ring when the cursor brings them inside the horizon.
+//   * Binary heap — the fallback when tau is too large for a reasonable
+//     ring (tau > kMaxBucketSpan). Implemented with std::push_heap /
+//     std::pop_heap over a plain vector, so popped events are moved out of
+//     a mutable slot (no const_cast on a priority_queue top()).
+//
+// Both backends produce the identical (time, seq) order; a test pins this
+// equivalence on random workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace rise::sim {
+
+enum class EventKind : std::uint8_t { kWake, kDeliver };
+
+struct Event {
+  Time t = 0;
+  std::uint64_t seq = 0;  // tie-break: engine processes in schedule order
+  EventKind kind = EventKind::kWake;
+  NodeId node = kInvalidNode;  // wake target / delivery receiver
+  Port port = kInvalidPort;    // receiver port (deliver only)
+  Message msg;                 // (deliver only)
+};
+
+class EventQueue {
+ public:
+  enum class Mode {
+    kAuto,     ///< buckets iff max_delay <= kMaxBucketSpan
+    kBuckets,  ///< force the calendar queue (testing)
+    kHeap,     ///< force the binary heap (testing)
+  };
+
+  /// Largest tau for which the calendar queue is used under kAuto. Above
+  /// this, a mostly-empty ring would cost more to scan than a heap's log.
+  static constexpr Time kMaxBucketSpan = 4096;
+
+  explicit EventQueue(Time max_delay, Mode mode = Mode::kAuto);
+
+  /// Preconditions: ev.t is never in the past (ev.t >= the time of the last
+  /// popped event), and deliveries lie within (now, now + max_delay].
+  /// Arbitrary future times (adversary wake-ups) are accepted.
+  void push(Event ev);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Removes and returns the least event in (t, seq) order. !empty() only.
+  Event pop();
+
+  bool using_buckets() const { return buckets_on_; }
+
+ private:
+  void heap_push(Event ev);
+  Event heap_pop();
+  /// Moves overflow events that entered the ring horizon into buckets.
+  void migrate();
+
+  bool buckets_on_;
+  std::size_t num_buckets_ = 0;  // power of two, > max_delay (bucket mode)
+  std::size_t mask_ = 0;
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t ring_size_ = 0;   // events currently in buckets
+  std::size_t cursor_pos_ = 0;  // read index into the current bucket
+  Time cursor_ = 0;             // time floor: no event precedes cursor_
+
+  std::vector<Event> heap_;  // heap mode storage / bucket-mode overflow
+  std::size_t size_ = 0;
+};
+
+}  // namespace rise::sim

@@ -47,7 +47,6 @@ Instance Instance::create(graph::Graph g, const InstanceOptions& options,
   // Adversarial port mappings.
   inst.port_to_slot_.resize(n);
   inst.slot_to_port_.resize(n);
-  inst.neighbor_labels_.resize(n);
   for (NodeId u = 0; u < n; ++u) {
     const auto deg = inst.graph_.degree(u);
     if (options.random_ports) {
@@ -60,13 +59,49 @@ Instance Instance::create(graph::Graph g, const InstanceOptions& options,
     for (Port p = 0; p < deg; ++p) {
       inst.slot_to_port_[u][inst.port_to_slot_[u][p]] = p;
     }
-    inst.neighbor_labels_[u].resize(deg);
+  }
+
+  // Flat directed-edge index: prefix degrees, then the precomputed reverse
+  // port of every link — the engines' per-send hot path reads these instead
+  // of binary-searching the adjacency list.
+  inst.edge_base_.resize(n + 1);
+  inst.edge_base_[0] = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    inst.edge_base_[u + 1] = inst.edge_base_[u] + inst.graph_.degree(u);
+  }
+  inst.reverse_port_.resize(inst.edge_base_[n]);
+  for (NodeId u = 0; u < n; ++u) {
     const auto nb = inst.graph_.neighbors(u);
-    for (Port p = 0; p < deg; ++p) {
-      inst.neighbor_labels_[u][p] = inst.labels_[nb[inst.port_to_slot_[u][p]]];
+    for (Port p = 0; p < inst.graph_.degree(u); ++p) {
+      const NodeId v = nb[inst.port_to_slot_[u][p]];
+      inst.reverse_port_[inst.edge_base_[u] + p] = inst.neighbor_to_port(v, u);
     }
   }
+
+  inst.rebuild_label_views();
   return inst;
+}
+
+void Instance::rebuild_label_views() {
+  const NodeId n = num_nodes();
+  neighbor_labels_.assign(n, {});
+  label_to_port_.clear();
+  const bool kt1 = options_.knowledge == Knowledge::KT1;
+  if (kt1) label_to_port_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto deg = graph_.degree(u);
+    neighbor_labels_[u].resize(deg);
+    const auto nb = graph_.neighbors(u);
+    for (Port p = 0; p < deg; ++p) {
+      const Label l = labels_[nb[port_to_slot_[u][p]]];
+      neighbor_labels_[u][p] = l;
+      if (kt1) {
+        const bool inserted = label_to_port_[u].emplace(l, p).second;
+        RISE_CHECK_MSG(inserted, "node " << u << " has two neighbors with label "
+                                         << l << " — labels must be distinct");
+      }
+    }
+  }
 }
 
 Instance Instance::with_swapped_labels(NodeId a, NodeId b) const {
@@ -75,13 +110,20 @@ Instance Instance::with_swapped_labels(NodeId a, NodeId b) const {
   std::swap(copy.labels_[a], copy.labels_[b]);
   copy.label_index_[copy.labels_[a]] = a;
   copy.label_index_[copy.labels_[b]] = b;
-  for (NodeId u = 0; u < copy.num_nodes(); ++u) {
-    const auto nb = copy.graph_.neighbors(u);
-    for (Port p = 0; p < copy.graph_.degree(u); ++p) {
-      copy.neighbor_labels_[u][p] = copy.labels_[nb[copy.port_to_slot_[u][p]]];
-    }
-  }
+  copy.rebuild_label_views();
   return copy;
+}
+
+Port Instance::port_of_label(NodeId u, Label neighbor) const {
+  RISE_CHECK_MSG(options_.knowledge == Knowledge::KT1,
+                 "addressing by neighbor ID requires KT1");
+  RISE_CHECK(u < num_nodes());
+  const auto& index = label_to_port_[u];
+  const auto it = index.find(neighbor);
+  RISE_CHECK_MSG(it != index.end(), "node " << label(u)
+                                            << " has no neighbor with ID "
+                                            << neighbor);
+  return it->second;
 }
 
 NodeId Instance::node_of_label(Label l) const {

@@ -66,6 +66,25 @@ class Instance {
   /// Neighbor labels of u indexed by *port* (KT1 initial knowledge).
   std::span<const Label> neighbor_labels_by_port(NodeId u) const;
 
+  /// Dense directed-edge numbering derived from the CSR graph: the pair
+  /// (u, p) with p < deg(u) has index edge_base(u) + p. The engines key
+  /// flat per-channel state (FIFO clamp, message counters) by this.
+  std::size_t directed_edge_id(NodeId u, Port p) const {
+    return edge_base_[u] + p;
+  }
+  std::size_t num_directed_edges() const { return edge_base_.back(); }
+
+  /// O(1) inverse of the link (u, p): the port at the far endpoint whose
+  /// link leads back to u. Precomputed; equals
+  /// neighbor_to_port(port_to_neighbor(u, p), u).
+  Port reverse_port(NodeId u, Port p) const {
+    return reverse_port_[edge_base_[u] + p];
+  }
+
+  /// O(1) KT1 addressing: the port of u leading to the neighbor with this
+  /// label. Throws under KT0 and for labels that are not neighbors of u.
+  Port port_of_label(NodeId u, Label neighbor) const;
+
   /// Maximum message size in bits permitted under CONGEST.
   std::uint64_t congest_bit_budget() const;
 
@@ -90,6 +109,10 @@ class Instance {
   AdviceStats advice_stats() const;
 
  private:
+  /// Recomputes the label-derived views (neighbor_labels_, label_to_port_)
+  /// from labels_ + port permutations; rejects duplicate neighbor labels.
+  void rebuild_label_views();
+
   graph::Graph graph_;
   InstanceOptions options_;
   std::vector<Label> labels_;
@@ -98,6 +121,13 @@ class Instance {
   std::vector<std::vector<std::uint32_t>> port_to_slot_;
   std::vector<std::vector<Port>> slot_to_port_;
   std::vector<std::vector<Label>> neighbor_labels_;  // by port
+  // Flat directed-edge index (edge_base_ has n+1 prefix-degree entries) and
+  // the precomputed reverse ports, one per directed edge.
+  std::vector<std::size_t> edge_base_;
+  std::vector<Port> reverse_port_;
+  // KT1 only: per-node label -> port, built once at construction so
+  // send_to_label is O(1) instead of O(degree).
+  std::vector<std::unordered_map<Label, Port>> label_to_port_;
   unsigned label_bits_ = 0;
   std::vector<BitString> advice_;
   BitString empty_advice_;

@@ -1,8 +1,19 @@
 #include "sim/message.hpp"
 
+#include <algorithm>
+
 namespace rise::sim {
 
-Message make_message(std::uint32_t type, std::vector<std::uint64_t> payload,
+void PayloadWords::grow(std::uint32_t new_cap) {
+  new_cap = std::max(new_cap, std::uint32_t{kInlineWords * 2});
+  auto* fresh = new std::uint64_t[new_cap];
+  std::memcpy(fresh, data(), size_ * sizeof(std::uint64_t));
+  release();
+  heap_ = fresh;
+  cap_ = new_cap;
+}
+
+Message make_message(std::uint32_t type, PayloadWords payload,
                      std::uint64_t bits) {
   Message m;
   m.type = type;

@@ -14,6 +14,14 @@
 // ID, its degree and ports, its neighbors' IDs only under KT1, its advice
 // string, private randomness, and (synchronous engine only) the node's
 // *local* round counter — there is no global clock (paper footnote 4).
+//
+// Dropped-message semantics: when RunLimits::max_time truncates a run, a
+// message whose delivery time falls past the horizon is silently dropped by
+// the asynchronous engine. The *send* is still charged (metrics.messages,
+// metrics.bits, sent_per_node — the sender did the work), but no delivery
+// is recorded, so metrics.deliveries <= metrics.messages always holds, with
+// equality exactly when no delivery was truncated. Traces show an on_send
+// with no matching on_deliver for dropped messages.
 #pragma once
 
 #include <cstdint>

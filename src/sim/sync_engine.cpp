@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/engine_core.hpp"
 #include "support/check.hpp"
 
 namespace rise::sim {
@@ -14,41 +14,18 @@ namespace {
 
 class SyncImpl;
 
-class SyncContext final : public Context {
+class SyncContext final : public CoreContext {
  public:
-  SyncContext(SyncImpl& engine, const Instance& instance)
-      : engine_(engine), instance_(instance) {}
-
-  void attach(NodeId node) { node_ = node; }
-
-  Label my_label() const override { return instance_.label(node_); }
-  NodeId degree() const override { return instance_.graph().degree(node_); }
-  Knowledge knowledge() const override { return instance_.knowledge(); }
-  Bandwidth bandwidth() const override { return instance_.bandwidth(); }
-  unsigned label_bits() const override { return instance_.label_bits(); }
-  std::uint64_t n_upper_bound() const override {
-    return std::uint64_t{1} << instance_.label_bits();
-  }
-
-  std::span<const Label> neighbor_labels() const override {
-    RISE_CHECK_MSG(instance_.knowledge() == Knowledge::KT1,
-                   "neighbor IDs are not available under KT0");
-    return instance_.neighbor_labels_by_port(node_);
-  }
+  SyncContext(SyncImpl& engine, EngineCore& core)
+      : CoreContext(core), engine_(engine) {}
 
   void send(Port p, Message msg) override;
-  void send_to_label(Label neighbor, Message msg) override;
   Time now() const override;
   std::uint64_t local_round() const override;
   void request_tick() override;
-  Rng& rng() override;
-  const BitString& advice() const override { return instance_.advice(node_); }
-  void set_output(std::uint64_t value) override;
 
  private:
   SyncImpl& engine_;
-  const Instance& instance_;
-  NodeId node_ = kInvalidNode;
 };
 
 class SyncImpl {
@@ -56,20 +33,13 @@ class SyncImpl {
   SyncImpl(const Instance& instance, const WakeSchedule& schedule,
            std::uint64_t seed, const ProcessFactory& factory,
            const SyncRunLimits& limits, TraceSink* trace)
-      : instance_(instance), limits_(limits), seed_(seed), trace_(trace),
-        ctx_(*this, instance) {
+      : core_(instance, /*tau=*/1, seed, factory, trace),
+        limits_(limits),
+        ctx_(*this, core_) {
     const NodeId n = instance.num_nodes();
-    processes_.resize(n);
-    for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
-    awake_.assign(n, false);
     wake_round_.assign(n, kNever);
     inbox_.resize(n);
     next_inbox_.resize(n);
-    result_.wake_time.assign(n, kNever);
-    result_.outputs.assign(n, kNoOutput);
-    result_.metrics.tau = 1;
-    result_.metrics.sent_per_node.assign(n, 0);
-    result_.metrics.received_per_node.assign(n, 0);
     for (const auto& [t, u] : schedule.wakes) {
       RISE_CHECK(u < n);
       pending_wakes_[t].push_back(u);
@@ -77,6 +47,8 @@ class SyncImpl {
   }
 
   RunResult run() {
+    const NodeId n = core_.instance().num_nodes();
+    Metrics& metrics = core_.result().metrics;
     for (round_ = 0;; ++round_) {
       RISE_CHECK_MSG(round_ <= limits_.max_rounds,
                      "sync engine exceeded max_rounds");
@@ -95,7 +67,7 @@ class SyncImpl {
         }
         pending_wakes_.erase(it);
       }
-      for (NodeId u = 0; u < instance_.num_nodes(); ++u) {
+      for (NodeId u = 0; u < n; ++u) {
         if (!inbox_[u].empty()) active.push_back(u);
       }
       for (NodeId u : tick_requests_) active.push_back(u);
@@ -114,110 +86,65 @@ class SyncImpl {
       // 3. Step every active node.
       for (NodeId u : active) {
         ctx_.attach(u);
-        if (!awake_[u]) {
-          awake_[u] = true;
-          wake_round_[u] = round_;
-          result_.wake_time[u] = round_;
-          result_.metrics.first_wake =
-              std::min(result_.metrics.first_wake, round_);
-          result_.metrics.last_wake =
-              std::max(result_.metrics.last_wake, round_);
+        if (!core_.is_awake(u)) {
           const WakeCause cause = adversary_woken.count(u)
                                       ? WakeCause::kAdversary
                                       : WakeCause::kMessage;
-          if (trace_ != nullptr) trace_->on_node_wake(round_, u, cause);
-          processes_[u]->on_wake(ctx_, cause);
+          // local_round() must read 1 inside on_wake, so set the base first.
+          wake_round_[u] = round_;
+          core_.mark_awake(u, round_, cause);
+          core_.process(u).on_wake(ctx_, cause);
           ctx_.attach(u);  // on_wake may not change it, but be explicit
         }
         if (!inbox_[u].empty()) {
-          result_.metrics.deliveries += inbox_[u].size();
-          result_.metrics.received_per_node[u] +=
-              static_cast<std::uint32_t>(inbox_[u].size());
-          result_.metrics.last_delivery = round_;
+          core_.account_delivery(u, round_, inbox_[u].size());
         }
-        processes_[u]->on_round(ctx_, inbox_[u]);
+        core_.process(u).on_round(ctx_, inbox_[u]);
         inbox_[u].clear();
       }
-      result_.metrics.events += active.size();
-      result_.metrics.rounds = round_ + 1;
+      metrics.events += active.size();
+      metrics.rounds = round_ + 1;
     }
-    return std::move(result_);
+    return core_.take_result();
   }
 
   void send_from(NodeId from, Port p, Message msg) {
-    RISE_CHECK_MSG(p < instance_.graph().degree(from),
+    const Instance& instance = core_.instance();
+    RISE_CHECK_MSG(p < instance.graph().degree(from),
                    "send on invalid port " << p << " at node " << from);
-    if (instance_.bandwidth() == Bandwidth::CONGEST) {
-      RISE_CHECK_MSG(msg.logical_bits() <= instance_.congest_bit_budget(),
-                     "CONGEST violation: message of "
-                         << msg.logical_bits() << " bits exceeds budget of "
-                         << instance_.congest_bit_budget());
-    }
-    ++result_.metrics.messages;
-    RISE_CHECK_MSG(result_.metrics.messages <= limits_.max_messages,
+    core_.account_send(from, msg);
+    RISE_CHECK_MSG(core_.result().metrics.messages <= limits_.max_messages,
                    "sync engine exceeded max_messages");
-    result_.metrics.bits += msg.logical_bits();
-    ++result_.metrics.sent_per_node[from];
-    const NodeId to = instance_.port_to_neighbor(from, p);
-    if (trace_ != nullptr) {
-      trace_->on_send(round_, from, to, msg);
-      trace_->on_deliver(round_ + 1, from, to, msg);
+    const NodeId to = instance.port_to_neighbor(from, p);
+    if (core_.trace() != nullptr) {
+      core_.trace()->on_send(round_, from, to, msg);
+      core_.trace()->on_deliver(round_ + 1, from, to, msg);
     }
-    const Port receiver_port = instance_.neighbor_to_port(to, from);
+    const Port receiver_port = instance.reverse_port(from, p);
     next_inbox_[to].push_back(Incoming{receiver_port, std::move(msg)});
   }
 
   Time round() const { return round_; }
   std::uint64_t local_round(NodeId u) const {
-    return awake_[u] ? (round_ - wake_round_[u] + 1) : 0;
+    return core_.is_awake(u) ? (round_ - wake_round_[u] + 1) : 0;
   }
   void request_tick(NodeId u) { tick_requests_.insert(u); }
 
-  Rng& node_rng(NodeId u) {
-    auto it = rngs_.find(u);
-    if (it == rngs_.end()) {
-      it = rngs_.emplace(u, Rng(mix_seed(seed_, u))).first;
-    }
-    return it->second;
-  }
-
-  void set_output(NodeId u, std::uint64_t value) { result_.outputs[u] = value; }
-
  private:
-  const Instance& instance_;
+  EngineCore core_;
   SyncRunLimits limits_;
-  std::uint64_t seed_;
-  TraceSink* trace_;
   SyncContext ctx_;
 
   Time round_ = 0;
-  std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<bool> awake_;
   std::vector<Time> wake_round_;
   std::vector<std::vector<Incoming>> inbox_;
   std::vector<std::vector<Incoming>> next_inbox_;
   std::map<Time, std::vector<NodeId>> pending_wakes_;
   std::set<NodeId> tick_requests_;
-  std::unordered_map<NodeId, Rng> rngs_;
-  RunResult result_;
 };
 
 void SyncContext::send(Port p, Message msg) {
   engine_.send_from(node_, p, std::move(msg));
-}
-
-void SyncContext::send_to_label(Label neighbor, Message msg) {
-  RISE_CHECK_MSG(instance_.knowledge() == Knowledge::KT1,
-                 "addressing by neighbor ID requires KT1");
-  const auto labels = instance_.neighbor_labels_by_port(node_);
-  for (Port p = 0; p < labels.size(); ++p) {
-    if (labels[p] == neighbor) {
-      engine_.send_from(node_, p, std::move(msg));
-      return;
-    }
-  }
-  RISE_CHECK_MSG(false, "node " << instance_.label(node_)
-                                << " has no neighbor with ID " << neighbor);
 }
 
 Time SyncContext::now() const { return engine_.round(); }
@@ -227,12 +154,6 @@ std::uint64_t SyncContext::local_round() const {
 }
 
 void SyncContext::request_tick() { engine_.request_tick(node_); }
-
-Rng& SyncContext::rng() { return engine_.node_rng(node_); }
-
-void SyncContext::set_output(std::uint64_t value) {
-  engine_.set_output(node_, value);
-}
 
 }  // namespace
 

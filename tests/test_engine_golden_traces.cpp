@@ -1,0 +1,192 @@
+// Golden-trace pinning for the engine refactor (PR 2).
+//
+// Each scenario fixes a (graph, schedule, seed) triple, runs an algorithm,
+// and serializes *everything* observable about the run — the full CSV trace,
+// wake times, outputs, and every metrics counter — into a digest string. The
+// FNV-1a hashes below were produced by the pre-refactor engines (hash-keyed
+// channel state, lazily-seeded RNG map, std::priority_queue timeline); the
+// refactored engines must reproduce them bit-for-bit, which pins the event
+// ordering contract (time, then push sequence) and with it every Table-1
+// output.
+//
+// The same scenarios additionally assert that the two event-timeline
+// backends (calendar/bucket queue vs binary heap) are interchangeable.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "algo/flooding.hpp"
+#include "algo/gossip.hpp"
+#include "algo/ranked_dfs.hpp"
+#include "graph/generators.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/sync_engine.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace rise;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Serializes everything observable about a run. Two runs are
+/// "bit-identical" iff their digests match.
+std::string digest(const sim::RunResult& r, const std::string& trace) {
+  std::ostringstream os;
+  os << trace << "|";
+  for (auto t : r.wake_time) os << t << ",";
+  os << "|";
+  for (auto o : r.outputs) os << o << ",";
+  os << "|" << r.metrics.messages << "," << r.metrics.bits << ","
+     << r.metrics.deliveries << "," << r.metrics.events << ","
+     << r.metrics.first_wake << "," << r.metrics.last_wake << ","
+     << r.metrics.last_delivery << "," << r.metrics.rounds << ","
+     << r.metrics.tau;
+  for (auto v : r.metrics.sent_per_node) os << "," << v;
+  for (auto v : r.metrics.received_per_node) os << "," << v;
+  return os.str();
+}
+
+struct AsyncScenario {
+  sim::Instance instance;
+  std::unique_ptr<sim::DelayPolicy> delays;
+  sim::WakeSchedule schedule;
+  std::uint64_t seed;
+  sim::ProcessFactory factory;
+};
+
+std::string run_async_digest(const AsyncScenario& s,
+                             sim::EventQueue::Mode mode) {
+  std::ostringstream trace;
+  sim::CsvTraceSink sink(trace);
+  sim::AsyncEngine engine(s.instance, *s.delays, s.schedule, s.seed);
+  engine.set_trace(&sink);
+  engine.set_event_queue_mode(mode);
+  const auto r = engine.run(s.factory);
+  return digest(r, trace.str());
+}
+
+AsyncScenario flooding_scenario() {
+  Rng grng(7);
+  auto g = graph::connected_gnp(60, 0.12, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  Rng irng(101);
+  return {sim::Instance::create(std::move(g), opt, irng),
+          sim::random_delay(5, 11), sim::wake_single(0), 42,
+          algo::flooding_factory()};
+}
+
+AsyncScenario gossip_scenario() {
+  Rng grng(21);
+  auto g = graph::connected_gnp(40, 0.15, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  Rng irng(102);
+  Rng srng(9);
+  return {sim::Instance::create(std::move(g), opt, irng),
+          sim::slow_channels_delay(6, 4, 5),
+          sim::staggered_doubling(40, 3, 2.0, srng), 43,
+          algo::push_gossip_factory(20)};
+}
+
+AsyncScenario ranked_dfs_scenario() {
+  Rng grng(33);
+  auto g = graph::connected_gnp(24, 0.2, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT1;
+  Rng irng(103);
+  Rng srng(17);
+  return {sim::Instance::create(std::move(g), opt, irng),
+          sim::random_delay(7, 99), sim::wake_random_subset(24, 0.25, srng),
+          44, algo::ranked_dfs_factory()};
+}
+
+/// Runs a scenario in every backend and checks the golden hash plus
+/// backend-for-backend bit-identity.
+void check_async_golden(const AsyncScenario& s, std::uint64_t golden_hash) {
+  const std::string auto_digest =
+      run_async_digest(s, sim::EventQueue::Mode::kAuto);
+  EXPECT_EQ(fnv1a(auto_digest), golden_hash)
+      << "refactored engine diverged from the pre-refactor golden trace";
+  EXPECT_EQ(run_async_digest(s, sim::EventQueue::Mode::kBuckets), auto_digest);
+  EXPECT_EQ(run_async_digest(s, sim::EventQueue::Mode::kHeap), auto_digest);
+}
+
+// Golden hashes generated from the seed (pre-refactor) engines at commit
+// 15a4e0a; see DESIGN.md "Engine internals" for the regeneration recipe.
+TEST(GoldenTraces, AsyncFloodingKt0RandomDelays) {
+  check_async_golden(flooding_scenario(), 14381359157637590916ULL);
+}
+
+TEST(GoldenTraces, AsyncGossipSlowChannelsStaggeredWakeup) {
+  check_async_golden(gossip_scenario(), 3759774500227404071ULL);
+}
+
+TEST(GoldenTraces, AsyncRankedDfsKt1RandomAwakeSet) {
+  check_async_golden(ranked_dfs_scenario(), 9418183927854880810ULL);
+}
+
+TEST(GoldenTraces, SyncFlooding) {
+  Rng grng(55);
+  const auto g = graph::connected_gnp(50, 0.1, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  Rng irng(104);
+  const auto inst = sim::Instance::create(g, opt, irng);
+  std::ostringstream trace;
+  sim::CsvTraceSink sink(trace);
+  const auto r = sim::run_sync(inst, sim::wake_single(3), 45,
+                               algo::flooding_factory(), {}, &sink);
+  EXPECT_EQ(fnv1a(digest(r, trace.str())), 11908988713426104929ULL);
+}
+
+TEST(GoldenTraces, SyncGossipWithTicks) {
+  Rng grng(77);
+  const auto g = graph::connected_gnp(30, 0.2, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  Rng irng(105);
+  const auto inst = sim::Instance::create(g, opt, irng);
+  std::ostringstream trace;
+  sim::CsvTraceSink sink(trace);
+  const auto r = sim::run_sync(inst, sim::wake_single(0), 46,
+                               algo::push_gossip_factory(10), {}, &sink);
+  EXPECT_EQ(fnv1a(digest(r, trace.str())), 18132143164008904908ULL);
+}
+
+/// Property: on fresh random graphs (not pinned), the two timeline backends
+/// stay bit-identical for all three algorithm families. This is the
+/// refactor-equivalence property test — any future event-ordering change
+/// must break both backends in exactly the same way to pass.
+TEST(EngineEquivalence, BucketAndHeapBackendsBitIdentical) {
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    Rng grng(900 + trial);
+    auto g = graph::connected_gnp(20 + 7 * static_cast<graph::NodeId>(trial),
+                                  0.2, grng);
+    sim::InstanceOptions opt;
+    opt.knowledge = trial % 2 == 0 ? sim::Knowledge::KT1 : sim::Knowledge::KT0;
+    Rng irng(1000 + trial);
+    AsyncScenario s{sim::Instance::create(std::move(g), opt, irng),
+                    sim::random_delay(3 + 5 * trial, 17 * trial + 1),
+                    sim::wake_single(static_cast<sim::NodeId>(trial % 5)),
+                    2000 + trial,
+                    trial % 2 == 0 ? algo::ranked_dfs_factory()
+                                   : algo::push_gossip_factory(15)};
+    const auto bucket = run_async_digest(s, sim::EventQueue::Mode::kBuckets);
+    const auto heap = run_async_digest(s, sim::EventQueue::Mode::kHeap);
+    EXPECT_EQ(bucket, heap) << "trial " << trial;
+    // Determinism: the same scenario re-run must reproduce itself.
+    EXPECT_EQ(run_async_digest(s, sim::EventQueue::Mode::kAuto), bucket);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Unit and property tests for the asynchronous engine's event timeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace rise;
+using sim::Event;
+using sim::EventKind;
+using sim::EventQueue;
+using sim::Time;
+
+Event ev(Time t, std::uint64_t seq) {
+  Event e;
+  e.t = t;
+  e.seq = seq;
+  e.kind = EventKind::kWake;
+  e.node = static_cast<sim::NodeId>(seq);
+  return e;
+}
+
+TEST(EventQueue, AutoModePicksBucketsForSmallTauHeapForHuge) {
+  EXPECT_TRUE(EventQueue(1).using_buckets());
+  EXPECT_TRUE(EventQueue(EventQueue::kMaxBucketSpan).using_buckets());
+  EXPECT_FALSE(EventQueue(EventQueue::kMaxBucketSpan + 1).using_buckets());
+  EXPECT_FALSE(
+      EventQueue(std::numeric_limits<Time>::max() / 2).using_buckets());
+}
+
+TEST(EventQueue, PopsInTimeThenSeqOrder) {
+  for (const auto mode : {EventQueue::Mode::kBuckets, EventQueue::Mode::kHeap}) {
+    EventQueue q(4, mode);
+    q.push(ev(3, 0));
+    q.push(ev(1, 1));
+    q.push(ev(1, 2));
+    q.push(ev(2, 3));
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.pop().seq, 1u);
+    EXPECT_EQ(q.pop().seq, 2u);
+    EXPECT_EQ(q.pop().seq, 3u);
+    EXPECT_EQ(q.pop().seq, 0u);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q(4);
+  EXPECT_THROW(q.pop(), CheckError);
+}
+
+TEST(EventQueue, FarFutureWakeupsCrossTheBucketHorizon) {
+  EventQueue q(2, EventQueue::Mode::kBuckets);
+  // Far beyond the ring span: must park in the overflow and come back in
+  // order, including across an idle gap the queue has to leap over.
+  q.push(ev(1'000'000, 0));
+  q.push(ev(500'000, 1));
+  q.push(ev(1, 2));
+  EXPECT_EQ(q.pop().t, 1u);
+  EXPECT_EQ(q.pop().t, 500'000u);
+  EXPECT_EQ(q.pop().t, 1'000'000u);
+  EXPECT_TRUE(q.empty());
+}
+
+/// Engine-shaped random workload: pop an event at time t, then push a few
+/// events with delays in [1, tau] (plus rare far-future ones), exactly the
+/// push pattern the async engine produces. Bucket and heap backends must
+/// agree with each other and with a stable-sort reference.
+TEST(EventQueue, PropertyRandomWorkloadMatchesReferenceOrder) {
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const Time tau = 1 + trial % 7;
+    EventQueue buckets(tau, EventQueue::Mode::kBuckets);
+    EventQueue heap(tau, EventQueue::Mode::kHeap);
+    Rng rng(7000 + trial);
+    std::uint64_t seq = 0;
+    std::vector<Event> pushed;
+
+    auto push_all = [&](Event e) {
+      pushed.push_back(e);
+      buckets.push(e);
+      heap.push(e);
+    };
+
+    // Initial "wake schedule": a few events at arbitrary future times.
+    for (int i = 0; i < 5; ++i) {
+      push_all(ev(rng.uniform(2000), seq++));
+    }
+
+    std::vector<Event> popped;
+    while (!buckets.empty()) {
+      ASSERT_EQ(buckets.size(), heap.size());
+      const Event a = buckets.pop();
+      const Event b = heap.pop();
+      ASSERT_EQ(a.t, b.t);
+      ASSERT_EQ(a.seq, b.seq);
+      popped.push_back(a);
+      // Sometimes schedule follow-ups within (t, t + tau], like deliveries.
+      if (popped.size() < 400) {
+        const std::uint64_t fanout = rng.uniform(3);
+        for (std::uint64_t k = 0; k < fanout; ++k) {
+          push_all(ev(a.t + 1 + rng.uniform(tau), seq++));
+        }
+      }
+    }
+    EXPECT_TRUE(heap.empty());
+
+    std::stable_sort(pushed.begin(), pushed.end(),
+                     [](const Event& x, const Event& y) {
+                       if (x.t != y.t) return x.t < y.t;
+                       return x.seq < y.seq;
+                     });
+    ASSERT_EQ(popped.size(), pushed.size());
+    for (std::size_t i = 0; i < popped.size(); ++i) {
+      EXPECT_EQ(popped[i].t, pushed[i].t) << "position " << i;
+      EXPECT_EQ(popped[i].seq, pushed[i].seq) << "position " << i;
+    }
+  }
+}
+
+TEST(EventQueue, MessagePayloadSurvivesTheQueue) {
+  EventQueue q(4);
+  Event e;
+  e.t = 2;
+  e.seq = 0;
+  e.kind = EventKind::kDeliver;
+  e.node = 1;
+  e.port = 3;
+  e.msg = sim::make_message(77, {1, 2, 3, 4, 5, 6}, 99);
+  q.push(std::move(e));
+  const Event out = q.pop();
+  EXPECT_EQ(out.msg.type, 77u);
+  ASSERT_EQ(out.msg.payload.size(), 6u);
+  EXPECT_EQ(out.msg.payload[5], 6u);
+  EXPECT_EQ(out.msg.logical_bits(), 99u);
+  EXPECT_EQ(out.port, 3u);
+}
+
+}  // namespace

@@ -116,6 +116,85 @@ TEST(Instance, SwappedLabelsInstance) {
   }
 }
 
+TEST(Instance, DirectedEdgeIndexCoversEveryPortExactlyOnce) {
+  Rng rng(11);
+  const auto g = graph::connected_gnp(35, 0.15, rng);
+  const Instance inst = test::make_instance(g, Knowledge::KT0);
+  std::set<std::size_t> seen;
+  for (graph::NodeId u = 0; u < 35; ++u) {
+    for (Port p = 0; p < g.degree(u); ++p) {
+      const std::size_t id = inst.directed_edge_id(u, p);
+      EXPECT_LT(id, inst.num_directed_edges());
+      seen.insert(id);
+    }
+  }
+  // Dense and collision-free: every directed edge owns one slot.
+  EXPECT_EQ(seen.size(), inst.num_directed_edges());
+  EXPECT_EQ(inst.num_directed_edges(), 2u * g.num_edges());
+}
+
+TEST(Instance, ReversePortMatchesNeighborToPort) {
+  Rng rng(12);
+  const auto g = graph::connected_gnp(30, 0.2, rng);
+  InstanceOptions opt;
+  opt.knowledge = Knowledge::KT0;
+  opt.random_ports = true;  // exercise non-identity port permutations
+  const Instance inst = Instance::create(g, opt, rng);
+  for (graph::NodeId u = 0; u < 30; ++u) {
+    for (Port p = 0; p < g.degree(u); ++p) {
+      const graph::NodeId v = inst.port_to_neighbor(u, p);
+      EXPECT_EQ(inst.reverse_port(u, p), inst.neighbor_to_port(v, u));
+      // Round trip: the reverse port at v leads back to u.
+      EXPECT_EQ(inst.port_to_neighbor(v, inst.reverse_port(u, p)), u);
+    }
+  }
+}
+
+TEST(Instance, PortOfLabelMatchesNeighborLabelsByPort) {
+  Rng rng(13);
+  const auto g = graph::connected_gnp(25, 0.25, rng);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  for (graph::NodeId u = 0; u < 25; ++u) {
+    const auto labels = inst.neighbor_labels_by_port(u);
+    for (Port p = 0; p < g.degree(u); ++p) {
+      EXPECT_EQ(inst.port_of_label(u, labels[p]), p);
+    }
+  }
+  // A label that is not among node 0's neighbors (its own) is rejected.
+  EXPECT_THROW(inst.port_of_label(0, inst.label(0)), CheckError);
+}
+
+TEST(Instance, PortOfLabelIsAModelViolationUnderKt0) {
+  Rng rng(14);
+  const auto g = graph::path(3);
+  const Instance inst = test::make_instance(g, Knowledge::KT0);
+  EXPECT_THROW(inst.port_of_label(1, inst.label(0)), CheckError);
+}
+
+TEST(Instance, DuplicateNeighborLabelsRejectedAtConstruction) {
+  // Adjacent nodes with the same forced label would make the KT1
+  // label -> port index ambiguous; construction must refuse.
+  Rng rng(15);
+  InstanceOptions opt;
+  opt.knowledge = Knowledge::KT1;
+  opt.label_range_factor = 4;
+  opt.forced_labels = {4, 4, 9};
+  EXPECT_THROW(Instance::create(graph::path(3), opt, rng), CheckError);
+}
+
+TEST(Instance, SwappedLabelsKeepPortOfLabelConsistent) {
+  Rng rng(16);
+  const auto g = graph::cycle(8);
+  const Instance inst = test::make_instance(g, Knowledge::KT1);
+  const Instance swapped = inst.with_swapped_labels(2, 6);
+  for (graph::NodeId u = 0; u < 8; ++u) {
+    const auto labels = swapped.neighbor_labels_by_port(u);
+    for (Port p = 0; p < g.degree(u); ++p) {
+      EXPECT_EQ(swapped.port_of_label(u, labels[p]), p);
+    }
+  }
+}
+
 TEST(Instance, AdviceStats) {
   Rng rng(9);
   const auto g = graph::path(4);
