@@ -354,6 +354,15 @@ std::vector<std::string> algorithm_names() {
 }
 
 ExperimentReport run_experiment(const ExperimentSpec& spec) {
+  return run_experiment(spec, RunInstruments{});
+}
+
+std::uint64_t delay_policy_seed(std::uint64_t experiment_seed) {
+  return mix_seed(experiment_seed, 0xD);
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const RunInstruments& instruments) {
   Rng graph_rng(mix_seed(spec.seed, 0xA));
   const graph::Graph g = parse_graph_spec(spec.graph, graph_rng);
 
@@ -379,13 +388,28 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
       parse_schedule_spec(spec.schedule, g, schedule_rng);
   report.rho_awk = sim::schedule_awake_distance(g, schedule);
 
-  if (algorithm.synchronous) {
-    report.result =
-        sim::run_sync(instance, schedule, spec.seed, algorithm.factory);
+  const bool synchronous = algorithm.synchronous || instruments.force_sync_engine;
+  if (synchronous) {
+    report.synchronous = true;
+    if (instruments.on_setup) {
+      instruments.on_setup(instance, schedule, nullptr, true);
+    }
+    report.result = sim::run_sync(instance, schedule, spec.seed,
+                                  algorithm.factory, {}, instruments.trace);
   } else {
-    const auto delays = parse_delay_spec(spec.delay, mix_seed(spec.seed, 0xD));
-    report.result = sim::run_async(instance, *delays, schedule, spec.seed,
-                                   algorithm.factory);
+    std::unique_ptr<sim::DelayPolicy> parsed;
+    const sim::DelayPolicy* delays = instruments.delay_override;
+    if (delays == nullptr) {
+      parsed = parse_delay_spec(spec.delay, delay_policy_seed(spec.seed));
+      delays = parsed.get();
+    }
+    if (instruments.on_setup) {
+      instruments.on_setup(instance, schedule, delays, false);
+    }
+    sim::AsyncEngine engine(instance, *delays, schedule, spec.seed);
+    engine.set_trace(instruments.trace);
+    engine.set_event_queue_mode(instruments.queue_mode);
+    report.result = engine.run(algorithm.factory);
   }
   return report;
 }

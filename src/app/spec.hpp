@@ -20,6 +20,7 @@
 //             spanner:K | cor2 | beta:B
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,8 +30,10 @@
 #include "graph/graph.hpp"
 #include "sim/adversary.hpp"
 #include "sim/delay_policy.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
+#include "sim/trace.hpp"
 #include "support/stats.hpp"
 
 namespace rise::app {
@@ -79,6 +82,43 @@ struct ExperimentReport {
 };
 
 ExperimentReport run_experiment(const ExperimentSpec& spec);
+
+/// Observation and override hooks for an instrumented run_experiment. The
+/// instrumented overload is the substrate of the scenario fuzzer
+/// (src/check): it replays exactly what the plain overload runs — same
+/// seed-stream tags, same parsing — while letting the caller watch the
+/// trace, pin the event-queue backend, or swap in a perturbed delay policy.
+struct RunInstruments {
+  /// Observer attached to the engine for the whole run (never perturbs it).
+  sim::TraceSink* trace = nullptr;
+
+  /// Event-timeline backend for asynchronous runs (kAuto = production pick).
+  sim::EventQueue::Mode queue_mode = sim::EventQueue::Mode::kAuto;
+
+  /// When non-null, replaces the delay policy parsed from spec.delay
+  /// (asynchronous runs only). Used for fault injection in checker tests.
+  const sim::DelayPolicy* delay_override = nullptr;
+
+  /// Run an *asynchronous* algorithm on the lock-step synchronous engine
+  /// (message-driven processes run unchanged there; spec.delay is ignored).
+  /// The fuzzer's unit-delay differential uses this.
+  bool force_sync_engine = false;
+
+  /// Called once, after the instance / schedule / delay policy are built and
+  /// before the engine runs. `delays` is null for synchronous runs.
+  std::function<void(const sim::Instance& instance,
+                     const sim::WakeSchedule& schedule,
+                     const sim::DelayPolicy* delays, bool synchronous)>
+      on_setup;
+};
+
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const RunInstruments& instruments);
+
+/// The seed fed to parse_delay_spec for this experiment seed — exposed so
+/// instrumented callers can rebuild (and wrap) the exact delay policy a
+/// plain run would use.
+std::uint64_t delay_policy_seed(std::uint64_t experiment_seed);
 
 /// Human-readable multi-line summary of a report.
 std::string format_report(const ExperimentReport& report);

@@ -1,0 +1,41 @@
+// Greedy scenario shrinking: given a failing scenario and a predicate that
+// re-runs it, repeatedly try simpler variants (smaller graph, single wake,
+// unit delays) and keep any that still fails. The result is the smallest
+// scenario the greedy pass can reach — typically a handful of nodes — whose
+// repro_command() is a self-contained one-liner.
+//
+// Shrinking mutates only the *spec strings*; the algorithm and seed are kept
+// fixed so the repro stays in the same algorithm family and remains fully
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/scenario.hpp"
+
+namespace rise::check {
+
+struct ShrinkOptions {
+  /// Total predicate evaluations allowed (each one replays a scenario).
+  std::size_t max_evaluations = 200;
+};
+
+struct ShrinkResult {
+  Scenario scenario;             ///< smallest still-failing scenario reached
+  std::size_t evaluations = 0;   ///< predicate calls spent
+  std::size_t steps = 0;         ///< accepted simplifications
+};
+
+/// Candidate one-step simplifications of a scenario, most aggressive first.
+/// Exposed for tests; shrink_scenario() iterates these to a fixed point.
+std::vector<Scenario> shrink_candidates(const Scenario& s);
+
+/// Greedy fixed-point shrink. `still_fails` must return true for `failing`
+/// itself (checked); the returned scenario satisfies it too.
+ShrinkResult shrink_scenario(
+    const Scenario& failing,
+    const std::function<bool(const Scenario&)>& still_fails,
+    const ShrinkOptions& options = {});
+
+}  // namespace rise::check

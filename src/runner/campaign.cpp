@@ -202,7 +202,10 @@ std::vector<Trial> expand_trials(const CampaignPlan& plan) {
 CampaignResult run_campaign(const CampaignPlan& plan,
                             const CampaignOptions& options) {
   const std::vector<Trial> trials = expand_trials(plan);
-  const TrialFn run = plan.run ? plan.run : TrialFn(&app::run_experiment);
+  const TrialFn run =
+      plan.run ? plan.run : TrialFn([](const app::ExperimentSpec& spec) {
+        return app::run_experiment(spec);
+      });
 
   CampaignResult result;
   result.jobs =

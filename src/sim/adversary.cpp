@@ -63,6 +63,10 @@ WakeSchedule staggered_doubling(NodeId n, Time gap, double growth, Rng& rng) {
   std::size_t next = 0;
   double batch = 1.0;
   Time t = 0;
+  // batch is clamped at n: a larger batch never wakes more nodes than
+  // remain, and without the clamp a big growth factor (or many iterations)
+  // overflows batch to inf, making std::llround undefined.
+  const double max_batch = static_cast<double>(order.size());
   while (next < order.size()) {
     const auto count =
         std::min<std::size_t>(order.size() - next,
@@ -71,7 +75,7 @@ WakeSchedule staggered_doubling(NodeId n, Time gap, double growth, Rng& rng) {
       s.wakes.push_back({t, order[next++]});
     }
     t += gap;
-    batch *= growth;
+    batch = std::min(batch * growth, max_batch);
   }
   return s;
 }

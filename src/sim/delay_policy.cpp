@@ -9,9 +9,13 @@ namespace {
 
 std::uint64_t channel_hash(std::uint64_t seed, NodeId from, NodeId to,
                            std::uint64_t msg_index) {
+  // Sequential SplitMix64 sponge: run the stream one step, fold the next
+  // input word into the state, repeat. Every input word passes through the
+  // full finalizer before the next is absorbed, so nearby channels and
+  // adjacent message indices land in decorrelated delay streams.
   std::uint64_t s = seed;
-  s ^= splitmix64(s) ^ (static_cast<std::uint64_t>(from) << 32 | to);
-  s ^= splitmix64(s) ^ msg_index;
+  s = splitmix64(s) ^ (static_cast<std::uint64_t>(from) << 32 | to);
+  s = splitmix64(s) ^ msg_index;
   return splitmix64(s);
 }
 

@@ -46,7 +46,12 @@ EventQueue::EventQueue(Time max_delay, Mode mode) {
 }
 
 void EventQueue::push(Event ev) {
-  RISE_DCHECK(ev.t >= cursor_);
+  // Always-on: a stale push (ev.t < cursor_) would index the ring modulo B
+  // and land one full lap in the future, silently reordering the timeline in
+  // release builds where a DCHECK compiles out.
+  RISE_CHECK_MSG(ev.t >= cursor_, "push at time " << ev.t
+                                                  << " precedes the cursor ("
+                                                  << cursor_ << ")");
   ++size_;
   if (buckets_on_ && ev.t - cursor_ < num_buckets_) {
     buckets_[ev.t & mask_].push_back(std::move(ev));

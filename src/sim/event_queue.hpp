@@ -55,8 +55,10 @@ class EventQueue {
   explicit EventQueue(Time max_delay, Mode mode = Mode::kAuto);
 
   /// Preconditions: ev.t is never in the past (ev.t >= the time of the last
-  /// popped event), and deliveries lie within (now, now + max_delay].
-  /// Arbitrary future times (adversary wake-ups) are accepted.
+  /// popped event — enforced with an always-on check, since a stale push
+  /// would silently land one ring lap late), and deliveries lie within
+  /// (now, now + max_delay]. Arbitrary future times (adversary wake-ups)
+  /// are accepted.
   void push(Event ev);
 
   bool empty() const { return size_ == 0; }

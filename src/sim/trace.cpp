@@ -30,4 +30,24 @@ void EdgeUsageSink::on_send(Time, NodeId from, NodeId to, const Message&) {
                           : std::make_pair(to, from));
 }
 
+TeeTraceSink::TeeTraceSink(std::vector<TraceSink*> sinks)
+    : sinks_(std::move(sinks)) {}
+
+void TeeTraceSink::on_send(Time t, NodeId from, NodeId to,
+                           const Message& msg) {
+  for (TraceSink* s : sinks_)
+    if (s != nullptr) s->on_send(t, from, to, msg);
+}
+
+void TeeTraceSink::on_deliver(Time t, NodeId from, NodeId to,
+                              const Message& msg) {
+  for (TraceSink* s : sinks_)
+    if (s != nullptr) s->on_deliver(t, from, to, msg);
+}
+
+void TeeTraceSink::on_node_wake(Time t, NodeId node, WakeCause cause) {
+  for (TraceSink* s : sinks_)
+    if (s != nullptr) s->on_node_wake(t, node, cause);
+}
+
 }  // namespace rise::sim

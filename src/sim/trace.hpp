@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "sim/message.hpp"
 #include "sim/process.hpp"
@@ -61,6 +62,25 @@ class EdgeUsageSink final : public TraceSink {
 
  private:
   std::set<std::pair<NodeId, NodeId>> edges_;
+};
+
+/// Fans every event out to several sinks, in the order given — the engines
+/// accept a single TraceSink*, so observers that want to ride along with an
+/// existing sink (e.g. the fuzzer's invariant checker next to a CSV export)
+/// compose through this. Null entries are skipped.
+class TeeTraceSink final : public TraceSink {
+ public:
+  TeeTraceSink() = default;
+  explicit TeeTraceSink(std::vector<TraceSink*> sinks);
+
+  void add(TraceSink* sink) { sinks_.push_back(sink); }
+
+  void on_send(Time t, NodeId from, NodeId to, const Message& msg) override;
+  void on_deliver(Time t, NodeId from, NodeId to, const Message& msg) override;
+  void on_node_wake(Time t, NodeId node, WakeCause cause) override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 /// Counts events (cheap smoke-test sink).

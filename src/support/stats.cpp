@@ -8,6 +8,9 @@
 namespace rise {
 
 void SampleStats::add(double x) {
+  // Appending a value no smaller than the current tail keeps the cache
+  // sorted, so monotone sample streams never pay a re-sort.
+  sorted_ = sorted_ && (samples_.empty() || x >= samples_.back());
   samples_.push_back(x);
   const double n = static_cast<double>(samples_.size());
   const double delta = x - mean_;
@@ -20,25 +23,32 @@ double SampleStats::stddev() const {
   return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
 }
 
+void SampleStats::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
 double SampleStats::min() const {
   RISE_CHECK(!samples_.empty());
-  return *std::min_element(samples_.begin(), samples_.end());
+  ensure_sorted();
+  return samples_.front();
 }
 
 double SampleStats::max() const {
   RISE_CHECK(!samples_.empty());
-  return *std::max_element(samples_.begin(), samples_.end());
+  ensure_sorted();
+  return samples_.back();
 }
 
 double SampleStats::quantile(double p) const {
   RISE_CHECK_MSG(!samples_.empty(), "quantile of an empty sample");
   RISE_CHECK_MSG(!std::isnan(p), "quantile(NaN)");
   p = std::clamp(p, 0.0, 1.0);
-  std::vector<double> sorted(samples_);
-  std::sort(sorted.begin(), sorted.end());
+  ensure_sorted();
   const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
+      p * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
 }
 
 }  // namespace rise

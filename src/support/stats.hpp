@@ -2,6 +2,14 @@
 // mean / stddev via Welford's algorithm plus exact min / max / median over
 // the retained samples. Benchmarks use it to report distributions over
 // seeds instead of single runs.
+//
+// Order statistics (quantile / median / min / max) share one lazily-sorted
+// view of the samples: the first order-statistic call after an add() sorts
+// in place, subsequent calls are O(1)/O(log n). Sample insertion order is
+// not observable through the API, so sorting in place is safe. The lazy
+// sort makes const order-statistic calls non-reentrant: do not call them
+// concurrently with each other or with add() without external locking (the
+// campaign runner aggregates on a single thread).
 #pragma once
 
 #include <cstddef>
@@ -26,7 +34,11 @@ class SampleStats {
   double median() const { return quantile(0.5); }
 
  private:
-  std::vector<double> samples_;
+  /// Sorts samples_ if an add() happened since the last sort.
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;  // vacuously true while empty
   double mean_ = 0.0;
   double m2_ = 0.0;
 };

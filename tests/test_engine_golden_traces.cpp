@@ -123,8 +123,15 @@ void check_async_golden(const AsyncScenario& s, std::uint64_t golden_hash) {
 
 // Golden hashes generated from the seed (pre-refactor) engines at commit
 // 15a4e0a; see DESIGN.md "Engine internals" for the regeneration recipe.
+// The two random-delay hashes were regenerated after the channel_hash fix
+// (the old sponge xor-ed into the seed instead of chaining SplitMix64
+// steps, so the per-message jitter streams changed); the slow-channels
+// gossip scenario was re-verified bit-identical under both hashes — its
+// staggered schedule wakes every node by adversary and the push budget
+// expires before any message crosses a channel, so its trace never
+// depended on the delay policy at all.
 TEST(GoldenTraces, AsyncFloodingKt0RandomDelays) {
-  check_async_golden(flooding_scenario(), 14381359157637590916ULL);
+  check_async_golden(flooding_scenario(), 14808672269368015146ULL);
 }
 
 TEST(GoldenTraces, AsyncGossipSlowChannelsStaggeredWakeup) {
@@ -132,7 +139,7 @@ TEST(GoldenTraces, AsyncGossipSlowChannelsStaggeredWakeup) {
 }
 
 TEST(GoldenTraces, AsyncRankedDfsKt1RandomAwakeSet) {
-  check_async_golden(ranked_dfs_scenario(), 9418183927854880810ULL);
+  check_async_golden(ranked_dfs_scenario(), 11055940047038463510ULL);
 }
 
 TEST(GoldenTraces, SyncFlooding) {

@@ -55,6 +55,20 @@ TEST(EventQueue, PopOnEmptyThrows) {
   EXPECT_THROW(q.pop(), CheckError);
 }
 
+TEST(EventQueue, StalePushThrowsInReleaseBuildsToo) {
+  // Regression: a push dated before the bucket cursor used to be guarded by
+  // a debug-only assertion; in release builds it silently indexed the ring
+  // modulo its span and the event time-traveled one full lap into the
+  // future. The guard is now an always-on RISE_CHECK.
+  EventQueue q(4, EventQueue::Mode::kBuckets);
+  q.push(ev(10, 0));
+  EXPECT_EQ(q.pop().t, 10u);  // cursor advances to t=10
+  EXPECT_THROW(q.push(ev(9, 1)), CheckError);
+  // Pushes at the cursor itself remain legal (same-tick follow-ups).
+  q.push(ev(10, 2));
+  EXPECT_EQ(q.pop().seq, 2u);
+}
+
 TEST(EventQueue, FarFutureWakeupsCrossTheBucketHorizon) {
   EventQueue q(2, EventQueue::Mode::kBuckets);
   // Far beyond the ring span: must park in the overflow and come back in

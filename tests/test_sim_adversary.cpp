@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
@@ -53,6 +55,24 @@ TEST(WakeSchedule, StaggeredDoublingTimesAreSpaced) {
   }
 }
 
+TEST(WakeSchedule, StaggeredDoublingSurvivesHugeGrowthFactors) {
+  // Regression: batch = batch * growth with growth = 1e9 overflowed the
+  // batch counter after two steps, turning it into a tiny (or zero) batch
+  // and stalling the schedule. The clamp caps each batch at the remaining
+  // node count.
+  Rng rng(11);
+  const auto s = staggered_doubling(1000, 5, 1e9, rng);
+  std::set<graph::NodeId> nodes;
+  Time max_t = 0;
+  for (const auto& [t, u] : s.wakes) {
+    nodes.insert(u);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_EQ(nodes.size(), 1000u);
+  // Batch sizes 1, then everyone: two batches, so the last wake is at gap*1.
+  EXPECT_EQ(max_t, 5u);
+}
+
 TEST(DominatingSet, CoversGraph) {
   Rng rng(4);
   for (int trial = 0; trial < 5; ++trial) {
@@ -82,6 +102,29 @@ TEST(ScheduleAwakeDistance, MatchesGraphMetric) {
   EXPECT_EQ(schedule_awake_distance(g, wake_single(0)), 8u);
   EXPECT_EQ(schedule_awake_distance(g, wake_single(4)), 4u);
   EXPECT_EQ(schedule_awake_distance(g, wake_set({0, 8})), 4u);
+}
+
+TEST(ScheduleAwakeDistance, MatchesBruteForcePerSourceBfs) {
+  // rho_awk(G, A0) = max_u min_{a in A0} dist(a, u), recomputed here with
+  // one single-source BFS per scheduled node instead of the multi-source
+  // pass the library uses.
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = graph::connected_gnp(40, 0.08, rng);
+    const auto schedule = wake_random_subset(40, 0.15, rng);
+    const auto awake = schedule.all_nodes();
+
+    std::vector<std::vector<std::uint32_t>> dist;
+    dist.reserve(awake.size());
+    for (graph::NodeId a : awake) dist.push_back(graph::bfs_distances(g, a));
+    std::uint32_t brute = 0;
+    for (graph::NodeId u = 0; u < 40; ++u) {
+      std::uint32_t best = graph::kUnreachable;
+      for (const auto& d : dist) best = std::min(best, d[u]);
+      brute = std::max(brute, best);
+    }
+    EXPECT_EQ(schedule_awake_distance(g, schedule), brute) << "trial " << trial;
+  }
 }
 
 }  // namespace

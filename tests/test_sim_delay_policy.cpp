@@ -1,0 +1,141 @@
+// Statistical and contract tests for the oblivious delay policies — in
+// particular a chi-square uniformity check on random_delay's per-message
+// jitter. The pre-fix channel hash xor-ed each absorbed word into the sponge
+// state instead of chaining SplitMix64 steps, which correlated the streams
+// of adjacent channels; the uniformity and channel-independence tests below
+// fail against that sponge.
+#include "sim/delay_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using namespace rise;
+
+/// Chi-square statistic of observed counts against a uniform expectation.
+double chi_square(const std::vector<std::uint64_t>& counts,
+                  std::uint64_t total) {
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double stat = 0.0;
+  for (std::uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+TEST(DelayPolicy, UnitAndFixedAreConstant) {
+  const auto unit = sim::unit_delay();
+  const auto fixed = sim::fixed_delay(7);
+  EXPECT_EQ(unit->max_delay(), 1u);
+  EXPECT_EQ(fixed->max_delay(), 7u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(unit->delay(0, 1, i, 100), 1u);
+    EXPECT_EQ(fixed->delay(3, 4, i, i), 7u);
+  }
+}
+
+TEST(DelayPolicy, RandomDelayStaysInRange) {
+  const auto policy = sim::random_delay(9, 42);
+  EXPECT_EQ(policy->max_delay(), 9u);
+  for (sim::NodeId from = 0; from < 20; ++from) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const sim::Time d = policy->delay(from, from + 1, i, 0);
+      EXPECT_GE(d, 1u);
+      EXPECT_LE(d, 9u);
+    }
+  }
+}
+
+TEST(DelayPolicy, RandomDelayIsUniformAcrossChannels) {
+  // One draw per directed channel (msg_index 0), binned over [1, tau].
+  // dof = 7; chi-square > 30 has p < 1e-4 under uniformity.
+  constexpr sim::Time kTau = 8;
+  const auto policy = sim::random_delay(kTau, 1234);
+  std::vector<std::uint64_t> counts(kTau, 0);
+  std::uint64_t total = 0;
+  for (sim::NodeId from = 0; from < 200; ++from) {
+    for (sim::NodeId to = 0; to < 200; ++to) {
+      if (from == to) continue;
+      ++counts[policy->delay(from, to, 0, 0) - 1];
+      ++total;
+    }
+  }
+  EXPECT_LT(chi_square(counts, total), 30.0);
+}
+
+TEST(DelayPolicy, RandomDelayIsUniformAlongOneChannel) {
+  // The per-channel jitter stream (varying msg_index only) must itself be
+  // uniform — this is the stream the sponge bug corrupted.
+  constexpr sim::Time kTau = 8;
+  const auto policy = sim::random_delay(kTau, 99);
+  std::vector<std::uint64_t> counts(kTau, 0);
+  constexpr std::uint64_t kDraws = 40000;
+  for (std::uint64_t i = 0; i < kDraws; ++i) {
+    ++counts[policy->delay(3, 7, i, 0) - 1];
+  }
+  EXPECT_LT(chi_square(counts, kDraws), 30.0);
+}
+
+TEST(DelayPolicy, AdjacentChannelsAreDecorrelated) {
+  // Channels (u, u+1) and (u+1, u+2) share a word of hash input; their
+  // delay streams must still disagree about as often as independent uniform
+  // draws would (1 - 1/tau of the time).
+  constexpr sim::Time kTau = 8;
+  const auto policy = sim::random_delay(kTau, 7);
+  std::uint64_t equal = 0, total = 0;
+  for (sim::NodeId u = 0; u < 100; ++u) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      equal += policy->delay(u, u + 1, i, 0) == policy->delay(u + 1, u + 2, i, 0);
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(equal) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 1.0 / kTau, 0.03);
+}
+
+TEST(DelayPolicy, DifferentSeedsGiveDifferentStreams) {
+  const auto a = sim::random_delay(16, 1);
+  const auto b = sim::random_delay(16, 2);
+  std::uint64_t differing = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    differing += a->delay(0, 1, i, 0) != b->delay(0, 1, i, 0);
+  }
+  EXPECT_GT(differing, 800u);
+}
+
+TEST(DelayPolicy, SlowChannelsHitTheConfiguredFraction) {
+  constexpr std::uint64_t kSlowOneIn = 4;
+  const auto policy = sim::slow_channels_delay(10, kSlowOneIn, 5);
+  EXPECT_EQ(policy->max_delay(), 10u);
+  std::uint64_t slow = 0, total = 0;
+  for (sim::NodeId from = 0; from < 120; ++from) {
+    for (sim::NodeId to = 0; to < 120; ++to) {
+      if (from == to) continue;
+      const sim::Time first = policy->delay(from, to, 0, 0);
+      ASSERT_TRUE(first == 1 || first == 10);
+      // Slowness is a property of the channel, not of the message.
+      for (std::uint64_t i = 1; i < 4; ++i) {
+        EXPECT_EQ(policy->delay(from, to, i, 0), first);
+      }
+      slow += first == 10;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(slow) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 1.0 / kSlowOneIn, 0.02);
+}
+
+TEST(DelayPolicy, CongestionDelayGrowsWithBacklogAndClamps) {
+  const auto policy = sim::congestion_delay(5);
+  EXPECT_EQ(policy->max_delay(), 5u);
+  EXPECT_EQ(policy->delay(0, 1, 0, 0), 1u);
+  EXPECT_EQ(policy->delay(0, 1, 3, 0), 4u);
+  EXPECT_EQ(policy->delay(0, 1, 100, 0), 5u);
+}
+
+}  // namespace

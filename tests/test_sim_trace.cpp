@@ -62,6 +62,22 @@ TEST(TraceSink, EdgeUsageSinkSeesFloodedEdges) {
   EXPECT_FALSE(sink.edge_used(0, 3));  // not an edge at all
 }
 
+TEST(TraceSink, TeeFansOutToEverySinkAndSkipsNulls) {
+  const auto g = graph::cycle(5);
+  const auto inst = test::make_instance(g, Knowledge::KT0);
+  CountingSink a, b;
+  TeeTraceSink tee({&a, nullptr, &b});
+  EdgeUsageSink edges;
+  tee.add(&edges);
+  const auto delays = unit_delay();
+  const auto result = run_async(inst, *delays, wake_single(0), 1,
+                                algo::flooding_factory(), {}, &tee);
+  EXPECT_EQ(a.sends(), result.metrics.messages);
+  EXPECT_EQ(b.sends(), a.sends());
+  EXPECT_EQ(b.wakes(), 5u);
+  EXPECT_EQ(edges.used_edges().size(), 5u);
+}
+
 TEST(TraceSink, CsvSinkEmitsWellFormedRows) {
   const auto g = graph::path(3);
   const auto inst = test::make_instance(g, Knowledge::KT0);

@@ -63,6 +63,29 @@ TEST(SampleStats, WelfordMatchesUniformMoments) {
   EXPECT_NEAR(s.stddev(), 0.2887, 0.01);  // sqrt(1/12)
 }
 
+TEST(SampleStats, LazySortStaysCorrectAcrossInterleavedAdds) {
+  // The sorted view is cached until the next add() invalidates it; every
+  // query after an add must see the new sample in order-statistic position.
+  SampleStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // sorts {5}
+  s.add(1.0);                         // invalidates the cache
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // sorted {1,3,5,9}, nearest rank
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+  // Repeated queries with no adds in between reuse the cache and agree.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  }
+  // Welford moments are unaffected by when the sort happens.
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+}
+
 TEST(SampleStats, OrderInsensitive) {
   SampleStats inc, dec;
   for (int i = 0; i < 100; ++i) inc.add(i);

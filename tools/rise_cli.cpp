@@ -19,6 +19,7 @@
 #include <unistd.h>
 
 #include "app/spec.hpp"
+#include "check/fuzz.hpp"
 #include "graph/io.hpp"
 #include "runner/campaign.hpp"
 #include "runner/result_sink.hpp"
@@ -33,7 +34,11 @@ void usage() {
       "                [--delay SPEC] [--seed N] [--seeds COUNT] [--jobs N]\n"
       "                [--json PATH] [--grid PARAM=a,b,c]... [--progress]\n"
       "       rise_cli --list\n"
-      "       rise_cli --dot GRAPH_SPEC [--seed N]\n\n"
+      "       rise_cli --dot GRAPH_SPEC [--seed N]\n"
+      "       rise_cli fuzz [--trials N] [--seed N] [--jobs N]\n"
+      "                     [--max-nodes N] [--max-tau T] [--families a,b]\n"
+      "                     [--fault late_delivery] [--no-shrink]\n"
+      "                     [--no-thread-check]\n\n"
       "single run: every random choice derives from --seed (default 1).\n\n"
       "campaigns (enabled by --seeds > 1, --grid, --json, or --jobs):\n"
       "  --seeds COUNT     trials per grid config. --seed is the base of the\n"
@@ -50,6 +55,12 @@ void usage() {
       "                    product\n"
       "  --progress        completed/total + trials/s + ETA on stderr\n"
       "                    (auto-enabled on a tty)\n\n"
+      "fuzz: sample deterministic scenarios, check run invariants, and\n"
+      "  replay each on every engine configuration that must agree (bucket\n"
+      "  vs heap event queue, async vs lock-step for unit-delay flooding,\n"
+      "  1 vs N runner threads). Failures are shrunk to one-line repros.\n"
+      "  --fault late_delivery injects a synthetic causality bug to prove\n"
+      "  the checker bites. Exit 0 iff every trial is clean.\n\n"
       "(the library call app::run_sweep keeps the legacy sequential seeds\n"
       " base, base+1, ... for reproducing pre-campaign sweeps)\n\n"
       "spec grammars (see src/app/spec.hpp for the full list):\n"
@@ -76,10 +87,85 @@ std::uint64_t parse_count(const std::string& flag, const std::string& text) {
   return v;
 }
 
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(',', start);
+    if (pos == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    if (pos > start) out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+int run_fuzz_command(int argc, char** argv) {
+  using namespace rise;
+  check::FuzzOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trials") {
+      options.trials = parse_count(arg, value());
+    } else if (arg == "--seed") {
+      options.seed = parse_count(arg, value());
+    } else if (arg == "--jobs") {
+      options.jobs = parse_count(arg, value());
+    } else if (arg == "--max-nodes") {
+      options.generator.max_nodes =
+          static_cast<sim::NodeId>(parse_count(arg, value()));
+    } else if (arg == "--max-tau") {
+      options.generator.max_tau = parse_count(arg, value());
+    } else if (arg == "--families") {
+      options.generator.families = split_commas(value());
+    } else if (arg == "--fault") {
+      const std::string kind = value();
+      if (kind != "late_delivery") {
+        std::fprintf(stderr, "unknown fault '%s' (try: late_delivery)\n",
+                     kind.c_str());
+        return 2;
+      }
+      options.fault = check::FaultKind::kLateDelivery;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--no-thread-check") {
+      options.verify_threads = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown fuzz flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const check::FuzzReport report = check::run_fuzz(options);
+  std::fputs(check::format_fuzz(report).c_str(), stdout);
+  return report.ok() && (report.threads_verified || !options.verify_threads)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace rise;
+  if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) {
+    try {
+      return run_fuzz_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   app::ExperimentSpec spec;
   std::string dot_graph;
   std::string json_path;
