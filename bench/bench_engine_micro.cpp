@@ -10,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "graph/high_girth.hpp"
 #include "graph/spanner.hpp"
+#include "obs/probe.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/sync_engine.hpp"
 
@@ -70,6 +71,64 @@ BENCHMARK(BM_AsyncFloodingTimeline)
     ->Args({10000, 0})
     ->Args({10000, 1})
     ->ArgNames({"n", "heap"});
+
+/// A flooding clone with zero probe calls — the pre-observability hot path.
+/// Paired with BM_ProbeDisabledFlooding below, it prices the disabled-probe
+/// branches (Context::probe() + the NodeProbe null checks in the production
+/// algo::flooding) that now sit on every wake. tools/check_probe_overhead.py
+/// gates the pair at <= 2% in CI.
+class ProbeFreeFlooding final : public sim::Process {
+ public:
+  void on_wake(sim::Context& ctx, sim::WakeCause) override {
+    ctx.broadcast(sim::make_message(algo::kFloodWake, {}, 8));
+  }
+  void on_message(sim::Context&, const sim::Incoming&) override {}
+};
+
+sim::ProcessFactory probe_free_flooding_factory() {
+  return [](sim::NodeId) { return std::make_unique<ProbeFreeFlooding>(); };
+}
+
+void probe_overhead_workload(benchmark::State& state,
+                             const sim::ProcessFactory& factory,
+                             obs::Probe* probe) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT0);
+  const auto delays = sim::unit_delay();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::AsyncEngine engine(inst, *delays, sim::wake_single(0), 1);
+    engine.set_probe(probe);
+    const auto result = engine.run(factory);
+    events += result.metrics.events;
+    benchmark::DoNotOptimize(result.metrics.messages);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_ProbeFreeFlooding(benchmark::State& state) {
+  probe_overhead_workload(state, probe_free_flooding_factory(), nullptr);
+}
+BENCHMARK(BM_ProbeFreeFlooding)->Arg(10000);
+
+void BM_ProbeDisabledFlooding(benchmark::State& state) {
+  // Production flooding (probe calls compiled in), no probe attached: every
+  // NodeProbe call is one branch on nullptr. This is the default rise_cli
+  // path, so the <= 2% gate is the cost every unprofiled run pays.
+  probe_overhead_workload(state, algo::flooding_factory(), nullptr);
+}
+BENCHMARK(BM_ProbeDisabledFlooding)->Arg(10000);
+
+void BM_ProbeEnabledFlooding(benchmark::State& state) {
+  // Informative (not gated): full attribution — phase marks, counters,
+  // per-send accounting, queue statistics.
+  obs::Probe probe;
+  probe_overhead_workload(state, algo::flooding_factory(), &probe);
+}
+BENCHMARK(BM_ProbeEnabledFlooding)->Arg(10000);
 
 void BM_SyncFloodingRounds(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

@@ -162,7 +162,7 @@ void table1() {
 void table1_distributions() {
   const std::size_t kSeeds = 16;
   bench::Table table({"row", "algo spec", "messages (mean +- sd)",
-                      "median msgs", "time units (mean +- sd)",
+                      "msgs p50/p90/max", "time units (mean +- sd)",
                       "runs (fail/err)"});
   const std::vector<std::pair<std::string, std::string>> rows = {
       {"Thm 3 RankedDFS", "ranked_dfs"},
@@ -188,8 +188,7 @@ void table1_distributions() {
     const auto result = bench::campaign_sweep(spec, kSeeds, artifact);
     const auto& t = result.total;
     table.add_row({name, algo, bench::fmt_mean_sd(t.messages, 0),
-                   t.messages.count() > 0 ? bench::fmt_f(t.messages.median(), 0)
-                                          : "-",
+                   bench::fmt_quantiles(t.messages, 0),
                    bench::fmt_mean_sd(t.time_units, 1),
                    bench::fmt_u(t.trials) + " (" + bench::fmt_u(t.failures) +
                        "/" + bench::fmt_u(t.errors) + ")"});

@@ -108,4 +108,15 @@ inline std::string fmt_mean_sd(const SampleStats& s, int precision = 1) {
   return fmt_f(s.mean(), precision) + " +- " + fmt_f(s.stddev(), precision);
 }
 
+/// "p50/p90/max" cell for distribution tables. Delegates every order
+/// statistic to SampleStats (src/support/stats) — the repo's single
+/// quantile implementation; bench code must not grow its own
+/// (test_bench_util pins the delegation). "-" when the sample is empty,
+/// since SampleStats::quantile throws on no data.
+inline std::string fmt_quantiles(const SampleStats& s, int precision = 1) {
+  if (s.count() == 0) return "-";
+  return fmt_f(s.quantile(0.5), precision) + "/" +
+         fmt_f(s.quantile(0.9), precision) + "/" + fmt_f(s.max(), precision);
+}
+
 }  // namespace rise::bench

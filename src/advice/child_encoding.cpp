@@ -85,6 +85,9 @@ class ChildEncodingOracle final : public AdvisingOracle {
 class ChildEncodingProcess final : public sim::Process {
  public:
   void on_wake(sim::Context& ctx, sim::WakeCause cause) override {
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("advice.forward");
+    probe.count("advice.decodes");
     advice_ = decode_cen_advice(ctx.advice());
     if (cause == sim::WakeCause::kAdversary) {
       notify_parent(ctx);

@@ -98,6 +98,9 @@ class Fip06Process final : public sim::Process {
   void propagate(sim::Context& ctx, sim::Port skip) {
     if (done_) return;
     done_ = true;
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("advice.forward");
+    probe.count("advice.decodes");
     BitReader r(ctx.advice());
     for (sim::Port p : decode_port_set(r, ctx.degree())) {
       if (p == skip) continue;

@@ -119,6 +119,9 @@ class SpannerOracle final : public AdvisingOracle {
 class SpannerProcess final : public sim::Process {
  public:
   void on_wake(sim::Context& ctx, sim::WakeCause cause) override {
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("advice.forward");
+    probe.count("advice.decodes");
     advice_ = decode_node_advice(ctx.advice());
     if (cause == sim::WakeCause::kAdversary) start(ctx);
   }

@@ -59,14 +59,19 @@ class SqrtThresholdProcess final : public sim::Process {
   void propagate(sim::Context& ctx, sim::Port skip) {
     if (done_) return;
     done_ = true;
+    obs::NodeProbe probe = ctx.probe();
+    probe.count("advice.decodes");
     BitReader r(ctx.advice());
     const sim::Message wake = sim::make_message(kTreeWake, {}, 8);
     if (r.read_bit()) {
+      probe.phase("advice.broadcast");
+      probe.node_class("high_degree");
       for (sim::Port p = 0; p < ctx.degree(); ++p) {
         if (p != skip) ctx.send(p, wake);
       }
       return;
     }
+    probe.phase("advice.forward");
     const unsigned width = std::max(1u, bit_width_for(ctx.degree()));
     const std::uint64_t count = r.read_gamma();
     for (std::uint64_t i = 0; i < count; ++i) {

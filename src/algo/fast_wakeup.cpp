@@ -145,6 +145,7 @@ class FastWakeup final : public sim::Process {
     if (status_ != Status::kUnwoken) return;
     status_ = Status::kActive;
     activation_round_ = ctx.local_round();
+    ctx.probe().phase("fw.sample");
     sample(ctx);
   }
 
@@ -164,6 +165,10 @@ class FastWakeup final : public sim::Process {
   }
 
   void start_tree(Context& ctx) {
+    obs::NodeProbe obs_probe = ctx.probe();
+    obs_probe.phase("fw.tree");
+    obs_probe.node_class("root");
+    obs_probe.count("fw.roots_sampled");
     root_state_.expected_l1 = ctx.degree();
     const Label me = ctx.my_label();
     for (Port p = 0; p < ctx.degree(); ++p) {
@@ -180,6 +185,10 @@ class FastWakeup final : public sim::Process {
       case kFwInvite1: {
         const Label root = in.msg.payload[0];
         if (probe_ != nullptr) ++probe_->l1_joins;
+        obs::NodeProbe obs_probe = ctx.probe();
+        obs_probe.phase("fw.tree");
+        obs_probe.node_class("l1");
+        obs_probe.count("fw.l1_joins");
         L1State& st = l1_states_[root];
         st.parent = in.port;
         schedule_tree_deactivation(ctx, /*rounds_to_completion=*/8);
@@ -212,6 +221,10 @@ class FastWakeup final : public sim::Process {
       case kFwInvite2: {
         const Label root = in.msg.payload[0];
         if (probe_ != nullptr) ++probe_->l2_joins;
+        obs::NodeProbe obs_probe = ctx.probe();
+        obs_probe.phase("fw.tree");
+        obs_probe.node_class("l2");
+        obs_probe.count("fw.l2_joins");
         l2_states_[root].parent = in.port;
         schedule_tree_deactivation(ctx, /*rounds_to_completion=*/5);
         std::vector<Label> nbrs(ctx.neighbor_labels().begin(),
@@ -262,8 +275,9 @@ class FastWakeup final : public sim::Process {
       }
       case kFwInvite3:
       case kFwActivate: {
-        if (probe_ != nullptr && in.msg.type == kFwInvite3) {
-          ++probe_->l3_invites;
+        if (in.msg.type == kFwInvite3) {
+          if (probe_ != nullptr) ++probe_->l3_invites;
+          ctx.probe().count("fw.l3_invites");
         }
         // A sleeping node joining at level 3, or receiving <activate!>,
         // becomes active (Sec. 3.2.1 status updates).
@@ -344,6 +358,9 @@ class FastWakeup final : public sim::Process {
     if (!is_root_ && active_round == 10 && !broadcasted_) {
       broadcasted_ = true;
       if (probe_ != nullptr) ++probe_->activate_broadcasts;
+      obs::NodeProbe obs_probe = ctx.probe();
+      obs_probe.phase("fw.activate");
+      obs_probe.count("fw.activate_broadcasts");
       ctx.broadcast(sim::make_message(kFwActivate, {}, 8));
       deact_deadline_ = std::min(deact_deadline_, ctx.local_round() + 1);
     }

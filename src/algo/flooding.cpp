@@ -7,6 +7,9 @@ namespace {
 class Flooding final : public sim::Process {
  public:
   void on_wake(sim::Context& ctx, sim::WakeCause) override {
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("flood");
+    probe.count("flood.broadcasts");
     // A single O(1)-bit wake-up signal on every port.
     ctx.broadcast(sim::make_message(kFloodWake, {}, 8));
   }

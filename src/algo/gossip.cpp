@@ -14,6 +14,9 @@ class PushGossip final : public sim::Process {
 
   void on_round(sim::Context& ctx, std::span<const sim::Incoming>) override {
     if (ctx.local_round() > budget_ || ctx.degree() == 0) return;
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("gossip.push");
+    probe.count("gossip.pushes");
     const sim::Port p =
         static_cast<sim::Port>(ctx.rng().uniform(ctx.degree()));
     ctx.send(p, sim::make_message(kGossipPush, {}, 8));

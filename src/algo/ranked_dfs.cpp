@@ -64,6 +64,10 @@ class RankedDfs final : public sim::Process {
 
   void on_wake(Context& ctx, sim::WakeCause cause) override {
     if (cause != sim::WakeCause::kAdversary) return;
+    obs::NodeProbe obs_probe = ctx.probe();
+    obs_probe.phase("dfs.launch");
+    obs_probe.node_class("initiator");
+    obs_probe.count("dfs.tokens_launched");
     // Draw a random rank from [n^c] (Sec. 3.1); nonzero so that the initial
     // "no token seen" state (0, 0) loses every comparison.
     const std::uint64_t rank_space = (std::uint64_t{1} << rank_bits_) - 1;
@@ -82,8 +86,12 @@ class RankedDfs final : public sim::Process {
       return;
     }
     TokenView token = decode_token(in.msg);
+    ctx.probe().phase("dfs.token");
     const std::pair<std::uint64_t, Label> key{token.rank, token.origin};
-    if (discard_losers_ && key < best_) return;  // case (b): discard
+    if (discard_losers_ && key < best_) {  // case (b): discard
+      ctx.probe().count("dfs.tokens_discarded");
+      return;
+    }
     best_ = std::max(best_, key);
 
     TokenState& state = tokens_[token.origin];
@@ -94,6 +102,7 @@ class RankedDfs final : public sim::Process {
     if (first_visit) {
       token.visited.push_back(me);  // case (a): append own ID
       state.parent_port = in.port;
+      ctx.probe().count("dfs.first_visits");
       if (probe_ != nullptr) {
         if (forwarded_origins_.insert(token.origin).second) {
           if (probe_->tokens_forwarded.size() <= node_) {
@@ -135,6 +144,10 @@ class RankedDfs final : public sim::Process {
     // ourselves as leader with a second DFS pass.
     if (elect_ && origin == ctx.my_label() && !announced_) {
       announced_ = true;
+      obs::NodeProbe obs_probe = ctx.probe();
+      obs_probe.phase("dfs.announce");
+      obs_probe.node_class("leader");
+      obs_probe.count("dfs.leaders_announced");
       ctx.set_output(ctx.my_label());
       std::vector<Label> seen{ctx.my_label()};
       leader_state_.parent_port = sim::kInvalidPort;
@@ -144,6 +157,7 @@ class RankedDfs final : public sim::Process {
 
   /// The announce pass: same visited-list DFS mechanics, never discarded.
   void on_leader_token(Context& ctx, const Incoming& in) {
+    ctx.probe().phase("dfs.announce");
     RISE_CHECK(in.msg.payload.size() >= 2);
     const Label leader = in.msg.payload[0];
     const std::uint64_t count = in.msg.payload[1];

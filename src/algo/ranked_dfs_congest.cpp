@@ -31,6 +31,10 @@ class RankedDfsCongest final : public sim::Process {
     // the token message fits the CONGEST budget.
     rank_bits_ = std::min(rank_bits_, 4 * ctx.label_bits());
     if (cause != sim::WakeCause::kAdversary) return;
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("dfs.launch");
+    probe.node_class("initiator");
+    probe.count("dfs.tokens_launched");
     const std::uint64_t rank_space = (std::uint64_t{1} << rank_bits_) - 1;
     rank_ = 1 + ctx.rng().uniform(rank_space);
     best_ = {rank_, ctx.my_label()};
@@ -43,7 +47,11 @@ class RankedDfsCongest final : public sim::Process {
     const std::uint64_t rank = in.msg.payload[0];
     const Label origin = in.msg.payload[1];
     const std::pair<std::uint64_t, Label> key{rank, origin};
-    if (key < best_) return;  // discard losing tokens, as in the LOCAL version
+    ctx.probe().phase("dfs.token");
+    if (key < best_) {  // discard losing tokens, as in the LOCAL version
+      ctx.probe().count("dfs.tokens_discarded");
+      return;
+    }
     best_ = key;
     TokenState& state = tokens_[origin];
     switch (in.msg.type) {

@@ -1,5 +1,7 @@
 #include "app/spec.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "advice/child_encoding.hpp"
@@ -363,16 +365,27 @@ std::uint64_t delay_policy_seed(std::uint64_t experiment_seed) {
 
 ExperimentReport run_experiment(const ExperimentSpec& spec,
                                 const RunInstruments& instruments) {
+  obs::Probe* probe = instruments.probe;
+
   Rng graph_rng(mix_seed(spec.seed, 0xA));
-  const graph::Graph g = parse_graph_spec(spec.graph, graph_rng);
+  graph::Graph g;
+  {
+    obs::PhaseTimer timer(probe, "setup.graph");
+    g = parse_graph_spec(spec.graph, graph_rng);
+  }
 
   AlgorithmSetup algorithm = parse_algorithm_spec(spec.algorithm);
 
   sim::InstanceOptions options;
   options.knowledge = algorithm.knowledge;
   options.bandwidth = algorithm.bandwidth;
-  Rng instance_rng(mix_seed(spec.seed, 0xB));
-  sim::Instance instance = sim::Instance::create(g, options, instance_rng);
+  std::optional<sim::Instance> instance_box;
+  {
+    obs::PhaseTimer timer(probe, "setup.instance");
+    Rng instance_rng(mix_seed(spec.seed, 0xB));
+    instance_box.emplace(sim::Instance::create(g, options, instance_rng));
+  }
+  sim::Instance& instance = *instance_box;
 
   ExperimentReport report;
   report.algorithm = algorithm.name;
@@ -380,13 +393,17 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
   report.num_nodes = g.num_nodes();
   report.num_edges = g.num_edges();
   if (algorithm.oracle != nullptr) {
+    obs::PhaseTimer timer(probe, "setup.advice");
     report.advice = advice::apply_oracle(instance, *algorithm.oracle);
   }
 
-  Rng schedule_rng(mix_seed(spec.seed, 0xC));
-  const sim::WakeSchedule schedule =
-      parse_schedule_spec(spec.schedule, g, schedule_rng);
-  report.rho_awk = sim::schedule_awake_distance(g, schedule);
+  sim::WakeSchedule schedule;
+  {
+    obs::PhaseTimer timer(probe, "setup.schedule");
+    Rng schedule_rng(mix_seed(spec.seed, 0xC));
+    schedule = parse_schedule_spec(spec.schedule, g, schedule_rng);
+    report.rho_awk = sim::schedule_awake_distance(g, schedule);
+  }
 
   const bool synchronous = algorithm.synchronous || instruments.force_sync_engine;
   if (synchronous) {
@@ -394,8 +411,12 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
     if (instruments.on_setup) {
       instruments.on_setup(instance, schedule, nullptr, true);
     }
-    report.result = sim::run_sync(instance, schedule, spec.seed,
-                                  algorithm.factory, {}, instruments.trace);
+    sim::SyncEngine engine(instance, schedule, spec.seed);
+    engine.set_trace(instruments.trace);
+    engine.set_probe(probe);
+    obs::PhaseTimer timer(probe, "engine.run");
+    report.result = engine.run(algorithm.factory);
+    timer.set_sim_span(report.result.metrics.rounds);
   } else {
     std::unique_ptr<sim::DelayPolicy> parsed;
     const sim::DelayPolicy* delays = instruments.delay_override;
@@ -408,10 +429,34 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
     }
     sim::AsyncEngine engine(instance, *delays, schedule, spec.seed);
     engine.set_trace(instruments.trace);
+    engine.set_probe(probe);
     engine.set_event_queue_mode(instruments.queue_mode);
+    obs::PhaseTimer timer(probe, "engine.run");
     report.result = engine.run(algorithm.factory);
+    timer.set_sim_span(std::max(report.result.metrics.last_delivery,
+                                report.result.metrics.last_wake));
   }
   return report;
+}
+
+ProfiledReport run_profiled(const ExperimentSpec& spec,
+                            const RunInstruments& instruments) {
+  obs::Probe probe;
+  RunInstruments probed = instruments;
+  probed.probe = &probe;
+
+  ProfiledReport out;
+  out.report = run_experiment(spec, probed);
+  out.profile = probe.take_profile(out.report.result);
+  out.profile.algorithm = spec.algorithm;
+  out.profile.graph = spec.graph;
+  out.profile.schedule = spec.schedule;
+  out.profile.delay = spec.delay;
+  out.profile.seed = spec.seed;
+  out.profile.num_nodes = out.report.num_nodes;
+  out.profile.num_edges = out.report.num_edges;
+  out.profile.synchronous = out.report.synchronous;
+  return out;
 }
 
 SweepResult run_sweep(const ExperimentSpec& base, std::size_t num_seeds,

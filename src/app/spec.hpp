@@ -28,6 +28,8 @@
 
 #include "advice/advice.hpp"
 #include "graph/graph.hpp"
+#include "obs/probe.hpp"
+#include "obs/profile.hpp"
 #include "sim/adversary.hpp"
 #include "sim/delay_policy.hpp"
 #include "sim/event_queue.hpp"
@@ -92,6 +94,13 @@ struct RunInstruments {
   /// Observer attached to the engine for the whole run (never perturbs it).
   sim::TraceSink* trace = nullptr;
 
+  /// Observability probe (src/obs): collects phase attribution, node-class
+  /// stats, and event-loop counters, and receives the host-side PhaseTimer
+  /// spans around graph/instance/schedule construction and the engine run.
+  /// Like `trace`, pure observation — a probed run is bit-identical to an
+  /// unprobed one. Prefer run_profiled unless you need the raw handle.
+  obs::Probe* probe = nullptr;
+
   /// Event-timeline backend for asynchronous runs (kAuto = production pick).
   sim::EventQueue::Mode queue_mode = sim::EventQueue::Mode::kAuto;
 
@@ -114,6 +123,17 @@ struct RunInstruments {
 
 ExperimentReport run_experiment(const ExperimentSpec& spec,
                                 const RunInstruments& instruments);
+
+/// run_experiment plus a RunProfile: attaches a fresh Probe (overriding
+/// instruments.probe), runs, and extracts the profile with the experiment
+/// identity filled in. The profiled run is bit-identical to the plain one.
+struct ProfiledReport {
+  ExperimentReport report;
+  obs::RunProfile profile;
+};
+
+ProfiledReport run_profiled(const ExperimentSpec& spec,
+                            const RunInstruments& instruments = {});
 
 /// The seed fed to parse_delay_spec for this experiment seed — exposed so
 /// instrumented callers can rebuild (and wrap) the exact delay policy a

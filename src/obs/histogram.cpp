@@ -1,0 +1,32 @@
+#include "obs/histogram.hpp"
+
+namespace rise::obs {
+
+std::uint64_t LogHistogram::approx_quantile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p * count), rank 1 for p == 0 like SampleStats::quantile.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(count_) + 0.9999999);
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cumulative = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    cumulative += counts_[b];
+    if (cumulative >= rank) return bucket_lo(b);
+  }
+  return bucket_lo(kBuckets - 1);
+}
+
+bool operator==(const LogHistogram& a, const LogHistogram& b) {
+  if (a.count_ != b.count_ || a.sum_ != b.sum_) return false;
+  if (a.count() > 0 && (a.min() != b.min() || a.max() != b.max())) return false;
+  for (unsigned i = 0; i < LogHistogram::kBuckets; ++i) {
+    if (a.counts_[i] != b.counts_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace rise::obs

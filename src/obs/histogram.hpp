@@ -1,0 +1,92 @@
+// Log-bucketed histograms for the observability layer (src/obs).
+//
+// A LogHistogram buckets 64-bit values by binary order of magnitude:
+// bucket 0 holds the value 0, bucket k >= 1 holds [2^(k-1), 2^k). That is
+// exactly std::bit_width(v), so add() is a handful of instructions — cheap
+// enough to sit on the engine's per-send path when a probe is attached.
+// Alongside the buckets the exact count / sum / min / max are kept, so
+// totals never lose precision to bucketing.
+//
+// merge() adds another histogram elementwise; it is associative and
+// commutative (a test pins this), which is what lets the campaign runner
+// merge per-trial histograms in any grouping without changing the result.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace rise::obs {
+
+class LogHistogram {
+ public:
+  /// Buckets 0..64: bucket 0 = {0}, bucket k = [2^(k-1), 2^k) for k >= 1,
+  /// bucket 64 = [2^63, 2^64).
+  static constexpr unsigned kBuckets = 65;
+
+  static unsigned bucket_of(std::uint64_t v) {
+    return static_cast<unsigned>(std::bit_width(v));
+  }
+  /// Smallest value that lands in bucket b.
+  static std::uint64_t bucket_lo(unsigned b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value that lands in bucket b.
+  static std::uint64_t bucket_hi(unsigned b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void add(std::uint64_t v, std::uint64_t weight = 1) {
+    if (weight == 0) return;
+    counts_[bucket_of(v)] += weight;
+    count_ += weight;
+    sum_ += v * weight;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LogHistogram& other) {
+    for (unsigned b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Exact min/max of the added values; 0 when empty.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  std::uint64_t bucket_count(unsigned b) const {
+    return b < kBuckets ? counts_[b] : 0;
+  }
+
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Bucket-resolution nearest-rank quantile: the lower bound of the bucket
+  /// containing the ceil(p * count)-th value. 0 when empty; p outside [0, 1]
+  /// is clamped. For exact cross-trial quantiles use SampleStats — this is
+  /// the cheap single-run approximation shown in profile breakdowns.
+  std::uint64_t approx_quantile(double p) const;
+
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b);
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+bool operator==(const LogHistogram& a, const LogHistogram& b);
+
+}  // namespace rise::obs

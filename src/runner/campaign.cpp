@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "runner/thread_pool.hpp"
 #include "support/check.hpp"
@@ -52,12 +54,21 @@ class ProgressReporter {
   Clock::time_point last_print_;
 };
 
-TrialResult execute_trial(const Trial& trial, const TrialFn& run) {
+TrialResult execute_trial(const Trial& trial, const TrialFn& run,
+                          bool profile) {
   TrialResult r;
   r.trial = trial;
   const auto t0 = Clock::now();
   try {
-    const app::ExperimentReport report = run(trial.spec);
+    app::ExperimentReport report;
+    if (profile) {
+      app::ProfiledReport profiled = app::run_profiled(trial.spec);
+      report = std::move(profiled.report);
+      r.profile = std::make_shared<const obs::RunProfile>(
+          std::move(profiled.profile));
+    } else {
+      report = run(trial.spec);
+    }
     r.ok = true;
     r.num_nodes = report.num_nodes;
     r.num_edges = report.num_edges;
@@ -207,6 +218,9 @@ CampaignResult run_campaign(const CampaignPlan& plan,
         return app::run_experiment(spec);
       });
 
+  // Profiling needs the run_profiled seam; a custom TrialFn has none.
+  const bool profile = plan.profile && !plan.run;
+
   CampaignResult result;
   result.jobs =
       options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
@@ -220,8 +234,8 @@ CampaignResult run_campaign(const CampaignPlan& plan,
       // &trial and &result.trials[i] stay valid: neither vector is resized
       // while the pool runs, and each slot is written by exactly one task.
       TrialResult* slot = &result.trials[trial.index];
-      pool.submit([&trial, slot, &run, &progress] {
-        *slot = execute_trial(trial, run);
+      pool.submit([&trial, slot, &run, &progress, profile] {
+        *slot = execute_trial(trial, run, profile);
         progress.tick();
       });
     }
@@ -245,6 +259,7 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     }
     accumulate(config, r, plan.require_all_awake);
     accumulate(result.total, r, plan.require_all_awake);
+    if (r.profile != nullptr) result.profile.merge(*r.profile);
   }
   result.total.spec = plan.base;
 

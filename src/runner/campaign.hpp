@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,12 @@ struct TrialResult {
   /// Wall-clock duration of this trial. Nondeterministic — excluded from
   /// every aggregate; reported per trial and in the summary timing block.
   double wall_ms = 0.0;
+
+  /// Per-run observability profile, populated only when CampaignPlan::profile
+  /// is set (and the plan uses the default run function). shared_ptr keeps
+  /// TrialResult cheap to copy; null otherwise. Timer wall-clock fields inside
+  /// are nondeterministic, but everything the aggregate consumes is not.
+  std::shared_ptr<const obs::RunProfile> profile;
 };
 
 /// Aggregates over the successful trials of one grid config (or of the
@@ -113,6 +120,11 @@ struct CampaignResult {
   std::size_t jobs = 1;       ///< resolved worker count
   double wall_ms = 0.0;       ///< whole-campaign wall clock
   double trials_per_sec = 0.0;
+
+  /// Merged profile across all profiled trials, in trial-index order (so
+  /// its SampleStats see a fixed insertion sequence for any --jobs value).
+  /// Empty (trials == 0) unless CampaignPlan::profile was set.
+  obs::ProfileAggregate profile;
 };
 
 /// Observer of a finished campaign. trial() is invoked once per trial in
@@ -145,6 +157,13 @@ struct CampaignPlan {
   /// family intentionally sleeps) set this to false so every completed
   /// trial is aggregated.
   bool require_all_awake = true;
+
+  /// Attach an obs::Probe to every trial and merge the resulting RunProfiles
+  /// into CampaignResult::profile. Only honoured with the default run
+  /// function (a custom TrialFn has no seam to thread a probe through); the
+  /// probe observes without perturbing, so profiled trials produce the same
+  /// metrics and digests as unprofiled ones.
+  bool profile = false;
 };
 
 struct CampaignOptions {

@@ -41,13 +41,17 @@ class AsyncImpl {
   AsyncImpl(const Instance& instance, const DelayPolicy& delays,
             const WakeSchedule& schedule, std::uint64_t seed,
             const ProcessFactory& factory, const RunLimits& limits,
-            TraceSink* trace, EventQueue::Mode queue_mode)
-      : core_(instance, delays.max_delay(), seed, factory, trace),
+            TraceSink* trace, obs::Probe* probe, EventQueue::Mode queue_mode)
+      : core_(instance, delays.max_delay(), seed, factory, trace, probe),
         delays_(delays),
         limits_(limits),
         ctx_(*this, core_),
         channels_(instance.num_directed_edges()),
-        events_(delays.max_delay(), queue_mode) {
+        events_(delays.max_delay(), queue_mode),
+        probe_(probe) {
+    if (probe_ != nullptr) {
+      probe_->set_backend(events_.using_buckets() ? "buckets" : "heap");
+    }
     const NodeId n = instance.num_nodes();
     for (const auto& [t, u] : schedule.wakes) {
       RISE_CHECK(u < n);
@@ -63,6 +67,7 @@ class AsyncImpl {
       Event ev = events_.pop();
       now_ = ev.t;
       ++metrics.events;
+      if (probe_ != nullptr) probe_->on_event_pop(events_.size());
       RISE_CHECK_MSG(metrics.events <= limits_.max_events,
                      "async engine exceeded max_events ("
                          << limits_.max_events << ") — runaway algorithm?");
@@ -91,7 +96,7 @@ class AsyncImpl {
     const Instance& instance = core_.instance();
     RISE_CHECK_MSG(p < instance.graph().degree(from),
                    "send on invalid port " << p << " at node " << from);
-    core_.account_send(from, msg);
+    core_.account_send(from, msg, now_);
     const NodeId to = instance.port_to_neighbor(from, p);
     if (core_.trace() != nullptr) core_.trace()->on_send(now_, from, to, msg);
     auto& chan = channels_[instance.directed_edge_id(from, p)];
@@ -109,6 +114,10 @@ class AsyncImpl {
     const Port receiver_port = instance.reverse_port(from, p);
     events_.push({arrive, next_seq_++, EventKind::kDeliver, to, receiver_port,
                   std::move(msg)});
+    if (probe_ != nullptr) {
+      probe_->on_queue_push(events_.size(), events_.ring_occupancy(),
+                            events_.overflow_occupancy());
+    }
   }
 
   Time now() const { return now_; }
@@ -127,6 +136,7 @@ class AsyncImpl {
 
   std::vector<ChannelState> channels_;
   EventQueue events_;
+  obs::Probe* probe_;
   std::uint64_t next_seq_ = 0;
   Time now_ = 0;
 };
@@ -149,7 +159,7 @@ AsyncEngine::AsyncEngine(const Instance& instance, const DelayPolicy& delays,
 RunResult AsyncEngine::run(const ProcessFactory& factory,
                            const RunLimits& limits) {
   AsyncImpl impl(instance_, delays_, schedule_, seed_, factory, limits,
-                 trace_, queue_mode_);
+                 trace_, probe_, queue_mode_);
   return impl.run();
 }
 

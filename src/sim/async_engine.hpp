@@ -43,6 +43,11 @@ class AsyncEngine {
   /// never perturbs the run. Must outlive run().
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Attach an observability probe (src/obs) collecting phase attribution
+  /// and event-loop statistics. Same contract as set_trace: observation
+  /// only, never perturbs the run, must outlive run().
+  void set_probe(obs::Probe* probe) { probe_ = probe; }
+
   /// Force a specific event-timeline backend (testing / benchmarking only;
   /// both backends produce bit-identical runs). Default: kAuto picks the
   /// calendar queue for tau <= EventQueue::kMaxBucketSpan, else the heap.
@@ -50,6 +55,7 @@ class AsyncEngine {
 
  private:
   TraceSink* trace_ = nullptr;
+  obs::Probe* probe_ = nullptr;
   EventQueue::Mode queue_mode_ = EventQueue::Mode::kAuto;
   const Instance& instance_;
   const DelayPolicy& delays_;

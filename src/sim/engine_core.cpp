@@ -7,9 +7,11 @@
 namespace rise::sim {
 
 EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
-                       const ProcessFactory& factory, TraceSink* trace)
-    : instance_(instance), trace_(trace) {
+                       const ProcessFactory& factory, TraceSink* trace,
+                       obs::Probe* probe)
+    : instance_(instance), trace_(trace), probe_(probe) {
   const NodeId n = instance.num_nodes();
+  if (probe_ != nullptr) probe_->attach_run(n);
   processes_.resize(n);
   for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
   rngs_.reserve(n);
@@ -22,7 +24,7 @@ EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
   result_.metrics.received_per_node.assign(n, 0);
 }
 
-void EngineCore::account_send(NodeId from, const Message& msg) {
+void EngineCore::account_send(NodeId from, const Message& msg, Time t) {
   if (instance_.bandwidth() == Bandwidth::CONGEST) {
     RISE_CHECK_MSG(msg.logical_bits() <= instance_.congest_bit_budget(),
                    "CONGEST violation: message of "
@@ -32,6 +34,7 @@ void EngineCore::account_send(NodeId from, const Message& msg) {
   ++result_.metrics.messages;
   result_.metrics.bits += msg.logical_bits();
   ++result_.metrics.sent_per_node[from];
+  if (probe_ != nullptr) probe_->on_send(from, msg.logical_bits(), t);
 }
 
 void EngineCore::account_delivery(NodeId to, Time t, std::uint64_t count) {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "sim/instance.hpp"
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
@@ -26,12 +27,16 @@ namespace rise::sim {
 class EngineCore {
  public:
   /// `tau` is recorded in the metrics (the time-unit normalizer); the
-  /// synchronous engine passes 1.
+  /// synchronous engine passes 1. `probe`, like `trace`, is a pure
+  /// observer (may be null) and must outlive the run; the core sizes its
+  /// per-node tables via attach_run.
   EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
-             const ProcessFactory& factory, TraceSink* trace);
+             const ProcessFactory& factory, TraceSink* trace,
+             obs::Probe* probe = nullptr);
 
   const Instance& instance() const { return instance_; }
   TraceSink* trace() const { return trace_; }
+  obs::Probe* probe() const { return probe_; }
   RunResult& result() { return result_; }
   RunResult take_result() { return std::move(result_); }
 
@@ -41,8 +46,9 @@ class EngineCore {
   void set_output(NodeId u, std::uint64_t value) { result_.outputs[u] = value; }
 
   /// CONGEST enforcement plus send-side metrics (messages, bits,
-  /// sent_per_node). Call exactly once per send, before enqueueing.
-  void account_send(NodeId from, const Message& msg);
+  /// sent_per_node) and probe attribution. Call exactly once per send,
+  /// before enqueueing; `t` is the send time (tick or round).
+  void account_send(NodeId from, const Message& msg, Time t);
 
   /// Delivery-side metrics (deliveries, received_per_node, last_delivery).
   void account_delivery(NodeId to, Time t, std::uint64_t count = 1);
@@ -56,6 +62,7 @@ class EngineCore {
  private:
   const Instance& instance_;
   TraceSink* trace_;
+  obs::Probe* probe_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> rngs_;
   std::vector<std::uint8_t> awake_;
@@ -88,6 +95,7 @@ class CoreContext : public Context {
   void send_to_label(Label neighbor, Message msg) override;
 
   Rng& rng() override { return core_.node_rng(node_); }
+  obs::NodeProbe probe() override { return {core_.probe(), node_}; }
   const BitString& advice() const override { return instance_.advice(node_); }
   void set_output(std::uint64_t value) override {
     core_.set_output(node_, value);

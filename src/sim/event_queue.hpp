@@ -69,6 +69,12 @@ class EventQueue {
 
   bool using_buckets() const { return buckets_on_; }
 
+  /// Events currently in the calendar ring (always 0 in heap mode). The
+  /// event-loop profiler samples these to show bucket-vs-heap occupancy.
+  std::size_t ring_occupancy() const { return ring_size_; }
+  /// Events in the overflow heap (bucket mode) or the heap (heap mode).
+  std::size_t overflow_occupancy() const { return heap_.size(); }
+
  private:
   void heap_push(Event ev);
   Event heap_pop();

@@ -29,6 +29,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/probe.hpp"
 #include "sim/instance.hpp"
 #include "sim/message.hpp"
 #include "sim/types.hpp"
@@ -97,6 +98,12 @@ class Context {
 
   /// Records this node's output value (used by the NIH problem).
   virtual void set_output(std::uint64_t value) = 0;
+
+  /// Observability handle for this node: phase / class marks and named
+  /// counters (src/obs). Null (every call a no-op) unless the run was
+  /// started with a Probe attached; marking is observation only and never
+  /// changes the run. The default suits Context fakes in tests.
+  virtual obs::NodeProbe probe() { return {}; }
 };
 
 class Process {

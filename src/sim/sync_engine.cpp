@@ -32,10 +32,12 @@ class SyncImpl {
  public:
   SyncImpl(const Instance& instance, const WakeSchedule& schedule,
            std::uint64_t seed, const ProcessFactory& factory,
-           const SyncRunLimits& limits, TraceSink* trace)
-      : core_(instance, /*tau=*/1, seed, factory, trace),
+           const SyncRunLimits& limits, TraceSink* trace, obs::Probe* probe)
+      : core_(instance, /*tau=*/1, seed, factory, trace, probe),
         limits_(limits),
-        ctx_(*this, core_) {
+        ctx_(*this, core_),
+        probe_(probe) {
+    if (probe_ != nullptr) probe_->set_backend("sync");
     const NodeId n = instance.num_nodes();
     wake_round_.assign(n, kNever);
     inbox_.resize(n);
@@ -104,6 +106,7 @@ class SyncImpl {
       }
       metrics.events += active.size();
       metrics.rounds = round_ + 1;
+      if (probe_ != nullptr) probe_->on_sync_round(active.size());
     }
     return core_.take_result();
   }
@@ -112,7 +115,7 @@ class SyncImpl {
     const Instance& instance = core_.instance();
     RISE_CHECK_MSG(p < instance.graph().degree(from),
                    "send on invalid port " << p << " at node " << from);
-    core_.account_send(from, msg);
+    core_.account_send(from, msg, round_);
     RISE_CHECK_MSG(core_.result().metrics.messages <= limits_.max_messages,
                    "sync engine exceeded max_messages");
     const NodeId to = instance.port_to_neighbor(from, p);
@@ -134,6 +137,7 @@ class SyncImpl {
   EngineCore core_;
   SyncRunLimits limits_;
   SyncContext ctx_;
+  obs::Probe* probe_;
 
   Time round_ = 0;
   std::vector<Time> wake_round_;
@@ -163,7 +167,7 @@ SyncEngine::SyncEngine(const Instance& instance, WakeSchedule schedule,
 
 RunResult SyncEngine::run(const ProcessFactory& factory,
                           const SyncRunLimits& limits) {
-  SyncImpl impl(instance_, schedule_, seed_, factory, limits, trace_);
+  SyncImpl impl(instance_, schedule_, seed_, factory, limits, trace_, probe_);
   return impl.run();
 }
 

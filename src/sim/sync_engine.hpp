@@ -37,8 +37,13 @@ class SyncEngine {
   /// Attach an observer receiving every send/deliver/wake event.
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Attach an observability probe (src/obs); observation only, must
+  /// outlive run().
+  void set_probe(obs::Probe* probe) { probe_ = probe; }
+
  private:
   TraceSink* trace_ = nullptr;
+  obs::Probe* probe_ = nullptr;
   const Instance& instance_;
   WakeSchedule schedule_;
   std::uint64_t seed_;

@@ -4,6 +4,8 @@
 //   * FIFO holds for *every* delay policy (parameterized sweep);
 //   * "failure injection": extreme delay skew (one slow channel, congestion
 //     penalties) never breaks correctness, only timing.
+//   * profiling transparency: attaching an obs::Probe never changes what a
+//     run computes — digests match the unprofiled run bit for bit.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -13,6 +15,7 @@
 #include "advice/fip06.hpp"
 #include "algo/flooding.hpp"
 #include "algo/ranked_dfs.hpp"
+#include "check/scenario.hpp"
 #include "test_util.hpp"
 
 namespace rise {
@@ -169,6 +172,31 @@ TEST(FailureInjection, CongestionPenaltyPunishesChattyAlgorithmsOnly) {
   // 60 messages with delays 1,2,...,50,50,...: the last lands at tau = 50
   // ticks — fifty times later than under unit delays.
   EXPECT_EQ(last, 50u);
+}
+
+TEST(ProfilingTransparency, ProbeNeverChangesTheRunDigest) {
+  // The observation contract (src/obs/probe.hpp): a probe only reads the
+  // run — no RNG draws, no control-flow changes. Pin it across 50 sampled
+  // scenarios spanning all five algorithm families, every graph family the
+  // fuzzer knows, both engines, and every delay policy: the profiled run's
+  // digest must be bit-identical to the plain run's.
+  constexpr std::uint64_t kCampaignSeed = 0x0B5E55ED;
+  for (std::uint64_t index = 0; index < 50; ++index) {
+    const check::Scenario s = check::sample_scenario(kCampaignSeed, index);
+    const app::ExperimentReport plain = app::run_experiment(s.spec);
+    const app::ProfiledReport profiled = app::run_profiled(s.spec);
+    EXPECT_EQ(check::digest_run(plain.result),
+              check::digest_run(profiled.report.result))
+        << "trial " << index << ": " << check::repro_command(s);
+    // While we have the profile: the phase partition invariant holds on
+    // every scenario, not just the conformance table's.
+    EXPECT_EQ(profiled.profile.phase_message_sum(),
+              profiled.report.result.metrics.messages)
+        << check::repro_command(s);
+    EXPECT_EQ(profiled.profile.phase_bit_sum(),
+              profiled.report.result.metrics.bits)
+        << check::repro_command(s);
+  }
 }
 
 }  // namespace

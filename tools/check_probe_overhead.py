@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate the disabled-probe overhead measured by bench_engine_micro.
+
+Reads a google-benchmark JSON report (``--benchmark_format=json``) containing
+the BM_ProbeFreeFlooding / BM_ProbeDisabledFlooding pair and fails (exit 1)
+when the disabled-probe run is more than ``--threshold`` slower than the
+probe-free baseline. This is the "null probe compiles to no-ops" contract of
+src/obs/probe.hpp: with no probe attached, every instrumentation point is a
+single branch on nullptr, so the production hot path must stay within noise
+of a clone compiled without any probe calls.
+
+Run with repetitions so the median is meaningful, e.g.:
+
+    bench_engine_micro --benchmark_filter=Probe --benchmark_repetitions=9 \
+        --benchmark_report_aggregates_only=true --benchmark_format=json \
+        > probe_bench.json
+    python3 tools/check_probe_overhead.py probe_bench.json
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE = "BM_ProbeFreeFlooding"
+CANDIDATE = "BM_ProbeDisabledFlooding"
+
+
+def median_time(benchmarks, prefix):
+    """Median real_time for the named benchmark.
+
+    Prefers the ``_median`` aggregate (present with --benchmark_repetitions);
+    falls back to the median of raw iteration records so the script also
+    works on a single-repetition report.
+    """
+    aggregates = [
+        b["real_time"]
+        for b in benchmarks
+        if b["name"].startswith(prefix) and b["name"].endswith("_median")
+    ]
+    if aggregates:
+        return aggregates[0]
+    raw = sorted(
+        b["real_time"]
+        for b in benchmarks
+        if b["name"].startswith(prefix) and b.get("run_type", "iteration") == "iteration"
+    )
+    if not raw:
+        raise SystemExit(f"error: no records for {prefix} in the report")
+    return raw[len(raw) // 2]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="google-benchmark JSON report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.02,
+        help="maximum allowed relative overhead (default 0.02 = 2%%)",
+    )
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        benchmarks = json.load(f)["benchmarks"]
+
+    baseline = median_time(benchmarks, BASELINE)
+    candidate = median_time(benchmarks, CANDIDATE)
+    overhead = (candidate - baseline) / baseline
+    print(
+        f"probe-free baseline : {baseline:14.1f} ns\n"
+        f"probe disabled      : {candidate:14.1f} ns\n"
+        f"overhead            : {overhead * 100:+.2f}% "
+        f"(threshold {args.threshold * 100:.1f}%)"
+    )
+    if overhead > args.threshold:
+        print("FAIL: disabled-probe overhead exceeds the threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

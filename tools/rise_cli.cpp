@@ -13,6 +13,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,25 +22,38 @@
 #include "app/spec.hpp"
 #include "check/fuzz.hpp"
 #include "graph/io.hpp"
+#include "obs/profile.hpp"
 #include "runner/campaign.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/thread_pool.hpp"
 #include "support/check.hpp"
+#include "support/json.hpp"
 
 namespace {
 
 void usage() {
   std::printf(
-      "usage: rise_cli [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
+      "usage: rise_cli [run] [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
       "                [--delay SPEC] [--seed N] [--seeds COUNT] [--jobs N]\n"
       "                [--json PATH] [--grid PARAM=a,b,c]... [--progress]\n"
+      "                [--profile[=PATH]]\n"
       "       rise_cli --list\n"
       "       rise_cli --dot GRAPH_SPEC [--seed N]\n"
+      "       rise_cli profile FILE [--top N]\n"
       "       rise_cli fuzz [--trials N] [--seed N] [--jobs N]\n"
       "                     [--max-nodes N] [--max-tau T] [--families a,b]\n"
       "                     [--fault late_delivery] [--no-shrink]\n"
       "                     [--no-thread-check]\n\n"
-      "single run: every random choice derives from --seed (default 1).\n\n"
+      "single run: every random choice derives from --seed (default 1).\n"
+      "  --profile[=PATH]  attach the observability probe: print a per-phase\n"
+      "                    breakdown and write a run_profile JSON document to\n"
+      "                    PATH (default profile.json). The probe only\n"
+      "                    observes: metrics and digests match an unprofiled\n"
+      "                    run bit for bit. In campaign mode, profiles every\n"
+      "                    trial and writes the merged profile_aggregate.\n\n"
+      "profile FILE: pretty-print a profile JSON document written by\n"
+      "  --profile (run_profile or profile_aggregate); --top N bounds the\n"
+      "  per-section breakdown (default 8).\n\n"
       "campaigns (enabled by --seeds > 1, --grid, --json, or --jobs):\n"
       "  --seeds COUNT     trials per grid config. --seed is the base of the\n"
       "                    campaign: each trial's seed is derived from\n"
@@ -154,6 +168,47 @@ int run_fuzz_command(int argc, char** argv) {
              : 1;
 }
 
+int run_profile_command(int argc, char** argv) {
+  using namespace rise;
+  std::string path;
+  std::size_t top_n = 8;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --top\n");
+        return 2;
+      }
+      top_n = parse_count(arg, argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown profile flag %s\n", arg.c_str());
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "profile takes exactly one FILE argument\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: rise_cli profile FILE [--top N]\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const json::Value doc = json::parse(text.str());
+  std::fputs(obs::format_profile_document(doc, top_n).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,16 +221,29 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
+    try {
+      return run_profile_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   app::ExperimentSpec spec;
   std::string dot_graph;
   std::string json_path;
+  std::string profile_path;
   std::vector<std::string> grid_args;
   bool list = false;
   bool progress = false;
   bool campaign_mode = false;
+  bool profile = false;
   std::size_t seeds = 1;
   std::size_t jobs = 1;
-  for (int i = 1; i < argc; ++i) {
+  // "run" is an optional subcommand alias for the default mode, symmetric
+  // with "fuzz" and "profile".
+  const int first_flag = argc > 1 && std::strcmp(argv[1], "run") == 0 ? 2 : 1;
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -205,6 +273,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--grid") {
       grid_args.push_back(value());
       campaign_mode = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = true;
+      profile_path = arg.substr(std::strlen("--profile="));
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--dot") {
@@ -235,10 +308,13 @@ int main(int argc, char** argv) {
       graph::write_dot(std::cout, app::parse_graph_spec(dot_graph, rng));
       return 0;
     }
+    const std::string profile_out =
+        profile_path.empty() ? "profile.json" : profile_path;
     if (campaign_mode) {
       runner::CampaignPlan plan;
       plan.base = spec;
       plan.num_seeds = seeds;
+      plan.profile = profile;
       for (const auto& axis : grid_args) {
         plan.grid.push_back(runner::parse_grid_axis(axis));
       }
@@ -262,12 +338,38 @@ int main(int argc, char** argv) {
 
       const auto result = runner::run_campaign(plan, options);
       std::fputs(runner::format_campaign(result).c_str(), stdout);
+      if (profile) {
+        std::fputs(obs::format_aggregate(result.profile).c_str(), stdout);
+        std::ofstream out(profile_out);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot open %s for writing\n",
+                       profile_out.c_str());
+          return 2;
+        }
+        out << obs::aggregate_to_json(result.profile);
+        std::printf("profile   : %s (merged over %zu trials)\n",
+                    profile_out.c_str(), result.profile.trials);
+      }
       if (!json_path.empty()) {
         json_out << "\n";
         std::printf("json      : %s (%zu trial records)\n", json_path.c_str(),
                     result.trials.size());
       }
       return result.total.failures == 0 && result.total.errors == 0 ? 0 : 1;
+    }
+    if (profile) {
+      const app::ProfiledReport profiled = app::run_profiled(spec);
+      std::fputs(app::format_report(profiled.report).c_str(), stdout);
+      std::fputs(obs::format_profile(profiled.profile).c_str(), stdout);
+      std::ofstream out(profile_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     profile_out.c_str());
+        return 2;
+      }
+      out << obs::profile_to_json(profiled.profile);
+      std::printf("profile   : %s\n", profile_out.c_str());
+      return profiled.report.result.all_awake() ? 0 : 1;
     }
     const auto report = app::run_experiment(spec);
     std::fputs(app::format_report(report).c_str(), stdout);
