@@ -1,7 +1,6 @@
 #include "app/spec.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <sstream>
 
 #include "advice/child_encoding.hpp"
@@ -363,9 +362,10 @@ std::uint64_t delay_policy_seed(std::uint64_t experiment_seed) {
   return mix_seed(experiment_seed, 0xD);
 }
 
-ExperimentReport run_experiment(const ExperimentSpec& spec,
-                                const RunInstruments& instruments) {
-  obs::Probe* probe = instruments.probe;
+PreparedExperiment prepare_experiment(const ExperimentSpec& spec,
+                                      obs::Probe* probe) {
+  PreparedExperiment prep;
+  prep.spec = spec;
 
   Rng graph_rng(mix_seed(spec.seed, 0xA));
   graph::Graph g;
@@ -375,27 +375,51 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
   }
 
   AlgorithmSetup algorithm = parse_algorithm_spec(spec.algorithm);
+  prep.algorithm = algorithm.name;
+  prep.synchronous = algorithm.synchronous;
+  prep.factory = std::move(algorithm.factory);
 
   sim::InstanceOptions options;
   options.knowledge = algorithm.knowledge;
   options.bandwidth = algorithm.bandwidth;
-  std::optional<sim::Instance> instance_box;
+  std::shared_ptr<sim::Instance> instance;
   {
     obs::PhaseTimer timer(probe, "setup.instance");
     Rng instance_rng(mix_seed(spec.seed, 0xB));
-    instance_box.emplace(sim::Instance::create(g, options, instance_rng));
+    instance = std::make_shared<sim::Instance>(
+        sim::Instance::create(std::move(g), options, instance_rng));
   }
-  sim::Instance& instance = *instance_box;
-
-  ExperimentReport report;
-  report.algorithm = algorithm.name;
-  report.synchronous = algorithm.synchronous;
-  report.num_nodes = g.num_nodes();
-  report.num_edges = g.num_edges();
   if (algorithm.oracle != nullptr) {
     obs::PhaseTimer timer(probe, "setup.advice");
-    report.advice = advice::apply_oracle(instance, *algorithm.oracle);
+    prep.advice = advice::apply_oracle(*instance, *algorithm.oracle);
   }
+  // const from here on: the instance is complete (advice installed) and
+  // every remaining access is a thread-safe read.
+  prep.instance = std::move(instance);
+  return prep;
+}
+
+ExperimentReport execute_prepared(const PreparedExperiment& prepared,
+                                  const ExperimentSpec& spec,
+                                  const RunInstruments& instruments,
+                                  sim::RunWorkspace* workspace) {
+  RISE_CHECK_MSG(
+      spec.graph == prepared.spec.graph &&
+          spec.algorithm == prepared.spec.algorithm,
+      "spec (graph=" << spec.graph << ", algo=" << spec.algorithm
+                     << ") does not match the prepared configuration (graph="
+                     << prepared.spec.graph
+                     << ", algo=" << prepared.spec.algorithm << ")");
+  obs::Probe* probe = instruments.probe;
+  const sim::Instance& instance = *prepared.instance;
+  const graph::Graph& g = instance.graph();
+
+  ExperimentReport report;
+  report.algorithm = prepared.algorithm;
+  report.synchronous = prepared.synchronous;
+  report.num_nodes = g.num_nodes();
+  report.num_edges = g.num_edges();
+  report.advice = prepared.advice;
 
   sim::WakeSchedule schedule;
   {
@@ -405,7 +429,8 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
     report.rho_awk = sim::schedule_awake_distance(g, schedule);
   }
 
-  const bool synchronous = algorithm.synchronous || instruments.force_sync_engine;
+  const bool synchronous =
+      prepared.synchronous || instruments.force_sync_engine;
   if (synchronous) {
     report.synchronous = true;
     if (instruments.on_setup) {
@@ -414,8 +439,9 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
     sim::SyncEngine engine(instance, schedule, spec.seed);
     engine.set_trace(instruments.trace);
     engine.set_probe(probe);
+    engine.set_workspace(workspace);
     obs::PhaseTimer timer(probe, "engine.run");
-    report.result = engine.run(algorithm.factory);
+    report.result = engine.run(prepared.factory);
     timer.set_sim_span(report.result.metrics.rounds);
   } else {
     std::unique_ptr<sim::DelayPolicy> parsed;
@@ -431,12 +457,37 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
     engine.set_trace(instruments.trace);
     engine.set_probe(probe);
     engine.set_event_queue_mode(instruments.queue_mode);
+    engine.set_workspace(workspace);
     obs::PhaseTimer timer(probe, "engine.run");
-    report.result = engine.run(algorithm.factory);
+    report.result = engine.run(prepared.factory);
     timer.set_sim_span(std::max(report.result.metrics.last_delivery,
                                 report.result.metrics.last_wake));
   }
   return report;
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const RunInstruments& instruments) {
+  // The split is exhaustive: preparing and executing with the same spec is
+  // the legacy single-shot path, bit for bit.
+  const PreparedExperiment prepared =
+      prepare_experiment(spec, instruments.probe);
+  return execute_prepared(prepared, spec, instruments);
+}
+
+obs::RunProfile take_run_profile(obs::Probe& probe,
+                                 const ExperimentReport& report,
+                                 const ExperimentSpec& spec) {
+  obs::RunProfile profile = probe.take_profile(report.result);
+  profile.algorithm = spec.algorithm;
+  profile.graph = spec.graph;
+  profile.schedule = spec.schedule;
+  profile.delay = spec.delay;
+  profile.seed = spec.seed;
+  profile.num_nodes = report.num_nodes;
+  profile.num_edges = report.num_edges;
+  profile.synchronous = report.synchronous;
+  return profile;
 }
 
 ProfiledReport run_profiled(const ExperimentSpec& spec,
@@ -447,15 +498,7 @@ ProfiledReport run_profiled(const ExperimentSpec& spec,
 
   ProfiledReport out;
   out.report = run_experiment(spec, probed);
-  out.profile = probe.take_profile(out.report.result);
-  out.profile.algorithm = spec.algorithm;
-  out.profile.graph = spec.graph;
-  out.profile.schedule = spec.schedule;
-  out.profile.delay = spec.delay;
-  out.profile.seed = spec.seed;
-  out.profile.num_nodes = out.report.num_nodes;
-  out.profile.num_edges = out.report.num_edges;
-  out.profile.synchronous = out.report.synchronous;
+  out.profile = take_run_profile(probe, out.report, spec);
   return out;
 }
 

@@ -36,6 +36,7 @@
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
+#include "sim/workspace.hpp"
 #include "support/stats.hpp"
 
 namespace rise::app {
@@ -124,6 +125,50 @@ struct RunInstruments {
 ExperimentReport run_experiment(const ExperimentSpec& spec,
                                 const RunInstruments& instruments);
 
+/// The immutable inputs of an experiment, built once and shareable across
+/// trials: the generated graph, the sim::Instance topology (CSR, ports,
+/// labels) with any oracle advice already installed, and the per-node
+/// process factory. Everything here is a pure function of (spec.graph,
+/// spec.algorithm, spec.seed) — the schedule, delay policy and engine
+/// randomness are per-run state and stay in execute_prepared.
+///
+/// The instance is held const behind a shared_ptr: all its read paths are
+/// thread-safe, so one PreparedExperiment may serve concurrent runs on many
+/// worker threads. The factory must likewise be called concurrently (every
+/// shipped algorithm factory is a stateless lambda).
+struct PreparedExperiment {
+  ExperimentSpec spec;  ///< the spec preparation consumed (seed = prep seed)
+  std::shared_ptr<const sim::Instance> instance;
+  std::string algorithm;  ///< canonical name from AlgorithmSetup
+  bool synchronous = false;
+  sim::ProcessFactory factory;
+  sim::Instance::AdviceStats advice;
+};
+
+/// Builds the shareable half of run_experiment: graph generation with
+/// mix_seed(spec.seed, 0xA), instance construction with mix_seed(spec.seed,
+/// 0xB), oracle advice. `probe` (optional) receives the setup.graph /
+/// setup.instance / setup.advice phase timers.
+PreparedExperiment prepare_experiment(const ExperimentSpec& spec,
+                                      obs::Probe* probe = nullptr);
+
+/// The per-run half: parses the schedule (mix_seed(spec.seed, 0xC)) and the
+/// delay policy (delay_policy_seed(spec.seed)) from `spec`, runs the engine
+/// with seed spec.seed, and assembles the report.
+///
+/// `spec` must agree with `prepared.spec` on graph and algorithm; schedule,
+/// delay and seed may differ — that is the point: one preparation serves a
+/// whole campaign of per-trial seeds. run_experiment(spec) is exactly
+/// execute_prepared(prepare_experiment(spec), spec), so results are
+/// bit-identical whenever prep seed == run seed.
+///
+/// `workspace` (optional) recycles engine storage across calls; it never
+/// changes results. It must belong to the calling thread.
+ExperimentReport execute_prepared(const PreparedExperiment& prepared,
+                                  const ExperimentSpec& spec,
+                                  const RunInstruments& instruments = {},
+                                  sim::RunWorkspace* workspace = nullptr);
+
 /// run_experiment plus a RunProfile: attaches a fresh Probe (overriding
 /// instruments.probe), runs, and extracts the profile with the experiment
 /// identity filled in. The profiled run is bit-identical to the plain one.
@@ -134,6 +179,14 @@ struct ProfiledReport {
 
 ProfiledReport run_profiled(const ExperimentSpec& spec,
                             const RunInstruments& instruments = {});
+
+/// Extracts `probe`'s RunProfile with the experiment identity filled in
+/// from (report, spec). Callers that manage their own probe (the campaign
+/// runner threading one probe across prepare + execute) share this with
+/// run_profiled so profiles are assembled identically everywhere.
+obs::RunProfile take_run_profile(obs::Probe& probe,
+                                 const ExperimentReport& report,
+                                 const ExperimentSpec& spec);
 
 /// The seed fed to parse_delay_spec for this experiment seed — exposed so
 /// instrumented callers can rebuild (and wrap) the exact delay policy a

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "runner/progress.hpp"
 #include "runner/thread_pool.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -21,51 +22,61 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Throttled completed/total reporter on stderr. Workers call tick()
-/// concurrently; output is serialized by mu_.
-class ProgressReporter {
- public:
-  ProgressReporter(std::size_t total, bool enabled)
-      : total_(total), enabled_(enabled), start_(Clock::now()) {}
+/// The calling worker thread's recycled engine storage. Campaign trials run
+/// only on pool threads, so thread-locals give one workspace per worker
+/// without the pool needing a worker-id API; each workspace is freed when
+/// its worker thread exits (pool destruction, inside run_campaign).
+sim::RunWorkspace& worker_workspace() {
+  static thread_local sim::RunWorkspace workspace;
+  return workspace;
+}
 
-  void tick() {
-    if (!enabled_) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    ++done_;
-    const auto now = Clock::now();
-    if (done_ < total_ && ms_between(last_print_, now) < 200.0) return;
-    last_print_ = now;
-    const double elapsed_s = ms_between(start_, now) / 1000.0;
-    const double rate =
-        elapsed_s > 0.0 ? static_cast<double>(done_) / elapsed_s : 0.0;
-    const double eta_s =
-        rate > 0.0 ? static_cast<double>(total_ - done_) / rate : 0.0;
-    std::fprintf(stderr, "\rcampaign: %zu/%zu trials  %.1f trials/s  eta %.0fs ",
-                 done_, total_, rate, eta_s);
-    if (done_ == total_) std::fprintf(stderr, "\n");
-  }
-
- private:
-  std::mutex mu_;
-  std::size_t total_;
-  std::size_t done_ = 0;
-  bool enabled_;
-  Clock::time_point start_;
-  Clock::time_point last_print_;
+/// How the default-run path obtains and executes a trial's preparation.
+struct PreparedPolicy {
+  PreparedConfigCache* cache = nullptr;  ///< non-null: kSharedConfig + reuse
+  std::uint64_t prepare_seed = 0;        ///< base seed (kSharedConfig only)
+  bool shared_config = false;
+  bool reuse_workspace = false;
 };
 
 TrialResult execute_trial(const Trial& trial, const TrialFn& run,
-                          bool profile) {
+                          bool profile, const PreparedPolicy& policy) {
   TrialResult r;
   r.trial = trial;
   const auto t0 = Clock::now();
   try {
     app::ExperimentReport report;
-    if (profile) {
-      app::ProfiledReport profiled = app::run_profiled(trial.spec);
-      report = std::move(profiled.report);
-      r.profile = std::make_shared<const obs::RunProfile>(
-          std::move(profiled.profile));
+    if (!run) {
+      // Default path: prepare (or fetch) the immutable inputs, then execute
+      // with the trial's own seed. Under kPerTrial the prep seed IS the
+      // trial seed, so this is bit-identical to the legacy
+      // run_experiment-per-trial campaign.
+      app::ExperimentSpec prep_spec = trial.spec;
+      if (policy.shared_config) prep_spec.seed = policy.prepare_seed;
+      sim::RunWorkspace* workspace =
+          policy.reuse_workspace ? &worker_workspace() : nullptr;
+      obs::Probe probe;
+      std::shared_ptr<const app::PreparedExperiment> prepared;
+      if (policy.cache != nullptr) {
+        // Cached preparations are shared across trials, so no single
+        // trial's probe may observe the build (which trial builds first is
+        // a scheduling race; attaching its probe would make per-trial
+        // profiles nondeterministic). Shared-mode profiles therefore have
+        // no setup.graph/instance/advice timers — the cost is amortized
+        // away, which is the point.
+        prepared = policy.cache->get_or_prepare(prep_spec);
+      } else {
+        prepared = std::make_shared<const app::PreparedExperiment>(
+            app::prepare_experiment(prep_spec, profile ? &probe : nullptr));
+      }
+      app::RunInstruments instruments;
+      if (profile) instruments.probe = &probe;
+      report = app::execute_prepared(*prepared, trial.spec, instruments,
+                                     workspace);
+      if (profile) {
+        r.profile = std::make_shared<const obs::RunProfile>(
+            app::take_run_profile(probe, report, trial.spec));
+      }
     } else {
       report = run(trial.spec);
     }
@@ -84,6 +95,11 @@ TrialResult execute_trial(const Trial& trial, const TrialFn& run,
     r.awake_node_ticks = report.result.awake_node_ticks();
     r.advice_max_bits = report.advice.max_bits;
     r.advice_avg_bits = report.advice.avg_bits;
+    if (!run && policy.reuse_workspace) {
+      // Everything needed is extracted; hand the per-node result buffers
+      // back so the next trial on this worker reuses their capacity.
+      worker_workspace().recycle_result(std::move(report.result));
+    }
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
@@ -212,14 +228,22 @@ std::vector<Trial> expand_trials(const CampaignPlan& plan) {
 
 CampaignResult run_campaign(const CampaignPlan& plan,
                             const CampaignOptions& options) {
+  RISE_CHECK_MSG(!plan.run || plan.prepare_mode == PrepareMode::kPerTrial,
+                 "PrepareMode::kSharedConfig requires the default trial "
+                 "function (a custom TrialFn has no preparation seam)");
   const std::vector<Trial> trials = expand_trials(plan);
-  const TrialFn run =
-      plan.run ? plan.run : TrialFn([](const app::ExperimentSpec& spec) {
-        return app::run_experiment(spec);
-      });
 
-  // Profiling needs the run_profiled seam; a custom TrialFn has none.
+  // Profiling needs the probe seam; a custom TrialFn has none.
   const bool profile = plan.profile && !plan.run;
+
+  PreparedConfigCache cache;
+  PreparedPolicy policy;
+  policy.shared_config = plan.prepare_mode == PrepareMode::kSharedConfig;
+  policy.prepare_seed = plan.base.seed;
+  policy.reuse_workspace = !plan.run && plan.reuse;
+  // The cache only pays off when trials can actually share a preparation,
+  // i.e. when the prep seed is per-config rather than per-trial.
+  if (policy.shared_config && plan.reuse) policy.cache = &cache;
 
   CampaignResult result;
   result.jobs =
@@ -234,14 +258,20 @@ CampaignResult run_campaign(const CampaignPlan& plan,
       // &trial and &result.trials[i] stay valid: neither vector is resized
       // while the pool runs, and each slot is written by exactly one task.
       TrialResult* slot = &result.trials[trial.index];
-      pool.submit([&trial, slot, &run, &progress, profile] {
-        *slot = execute_trial(trial, run, profile);
+      pool.submit([&trial, slot, &plan, &policy, &progress, profile] {
+        *slot = execute_trial(trial, plan.run, profile, policy);
         progress.tick();
       });
     }
     pool.wait_idle();
+    progress.finish();
   }
   result.wall_ms = ms_between(t0, Clock::now());
+  if (!plan.run) {
+    result.prepared_configs =
+        policy.cache != nullptr ? cache.misses() : trials.size();
+    result.prepared_cache_hits = policy.cache != nullptr ? cache.hits() : 0;
+  }
   result.trials_per_sec =
       result.wall_ms > 0.0
           ? static_cast<double>(trials.size()) / (result.wall_ms / 1000.0)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "app/spec.hpp"
+#include "runner/prepared.hpp"
 #include "support/stats.hpp"
 
 namespace rise::runner {
@@ -125,6 +126,13 @@ struct CampaignResult {
   /// its SampleStats see a fixed insertion sequence for any --jobs value).
   /// Empty (trials == 0) unless CampaignPlan::profile was set.
   obs::ProfileAggregate profile;
+
+  /// Preparations actually built (cache misses under kSharedConfig + reuse;
+  /// one per trial otherwise; 0 with a custom TrialFn).
+  std::uint64_t prepared_configs = 0;
+  /// Trials served by an already-built preparation (kSharedConfig + reuse
+  /// only; 0 otherwise).
+  std::uint64_t prepared_cache_hits = 0;
 };
 
 /// Observer of a finished campaign. trial() is invoked once per trial in
@@ -164,6 +172,20 @@ struct CampaignPlan {
   /// probe observes without perturbing, so profiled trials produce the same
   /// metrics and digests as unprofiled ones.
   bool profile = false;
+
+  /// Where each trial's immutable inputs come from (see runner/prepared.hpp).
+  /// kSharedConfig requires the default run function and changes trial
+  /// semantics (one topology per configuration); kPerTrial preserves legacy
+  /// digests exactly.
+  PrepareMode prepare_mode = PrepareMode::kPerTrial;
+
+  /// Execution-level reuse: recycle per-worker engine workspaces across
+  /// trials, and (under kSharedConfig) serve all trials of a configuration
+  /// from one cached preparation. Never affects results — for any fixed
+  /// prepare_mode, digests are bit-identical with reuse on or off; the
+  /// differential tests in test_runner_campaign pin this. Off exists for
+  /// benchmarking the rebuild path and for bisecting.
+  bool reuse = true;
 };
 
 struct CampaignOptions {

@@ -1,0 +1,46 @@
+#include "runner/prepared.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace rise::runner {
+
+std::string prepared_config_key(const app::ExperimentSpec& spec) {
+  std::ostringstream key;
+  // '\n' never appears inside a spec field (the grammars are ':'- and
+  // ','-separated single-line tokens), so it is a safe field separator.
+  key << spec.graph << '\n' << spec.algorithm << '\n' << spec.seed;
+  return key.str();
+}
+
+std::shared_ptr<const app::PreparedExperiment>
+PreparedConfigCache::get_or_prepare(const app::ExperimentSpec& spec) {
+  const std::string key = prepared_config_key(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto prepared = std::make_shared<const app::PreparedExperiment>(
+      app::prepare_experiment(spec));
+  entries_.emplace(key, prepared);
+  return prepared;
+}
+
+std::size_t PreparedConfigCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t PreparedConfigCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PreparedConfigCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace rise::runner

@@ -1,0 +1,68 @@
+// Campaign-level cache of prepared experiment configurations.
+//
+// app::prepare_experiment is a pure function of (spec.graph, spec.algorithm,
+// spec.seed): the generated graph, the Instance topology and the oracle
+// advice depend on nothing else (oracles take no RNG — they are
+// deterministic functions of the instance; test_app_prepared pins this).
+// That triple is therefore the cache key, and a cached PreparedExperiment
+// can be shared read-only across every worker thread of a campaign.
+//
+// Seed semantics decide what a campaign may share (see PrepareMode): under
+// the default per-trial mode every trial draws its own graph/labels/ports
+// from its own seed, so nothing is shareable and the cache is bypassed;
+// under shared-config mode all trials of a configuration run on the one
+// preparation derived from the campaign's base seed, and the cache collapses
+// N preparations into one per configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "app/spec.hpp"
+
+namespace rise::runner {
+
+/// How a campaign derives each trial's immutable prepared inputs.
+enum class PrepareMode {
+  /// Preparation seed = the trial's own seed: every trial gets its own
+  /// graph/labels/ports, exactly the legacy rebuild-per-trial semantics
+  /// (digests are bit-identical to pre-preparation campaigns). The default.
+  kPerTrial,
+  /// Preparation seed = the campaign's base seed: all trials of one grid
+  /// configuration share a single prepared graph + instance + advice, and
+  /// only schedule/delay/engine randomness vary per trial. Opt-in — it
+  /// changes what is being measured (variance over runs on one topology
+  /// rather than over topologies).
+  kSharedConfig,
+};
+
+/// The cache key for a preparation: exactly the spec fields
+/// prepare_experiment consumes. Schedule and delay are per-run and excluded,
+/// so grid axes that sweep only those map onto one cached entry.
+std::string prepared_config_key(const app::ExperimentSpec& spec);
+
+/// Thread-safe map from prepared_config_key to a shared immutable
+/// preparation. Misses build under the lock: concurrent requests for the
+/// same configuration must not duplicate an expensive oracle precomputation,
+/// and distinct configurations are each built once per campaign anyway.
+class PreparedConfigCache {
+ public:
+  std::shared_ptr<const app::PreparedExperiment> get_or_prepare(
+      const app::ExperimentSpec& spec);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const app::PreparedExperiment>>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace rise::runner

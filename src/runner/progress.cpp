@@ -1,0 +1,70 @@
+#include "runner/progress.hpp"
+
+#include <cstdio>
+
+namespace rise::runner {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::size_t total, bool enabled, Sink sink)
+    : total_(total),
+      enabled_(enabled),
+      sink_(std::move(sink)),
+      start_(Clock::now()) {
+  if (!sink_) {
+    sink_ = [](const std::string& line) {
+      std::fputs(line.c_str(), stderr);
+      std::fflush(stderr);
+    };
+  }
+}
+
+void ProgressReporter::tick() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot under the lock: the decision below must see the count this
+  // tick produced, not whatever concurrent ticks push done_ to later.
+  const std::size_t done = ++done_;
+  const auto now = Clock::now();
+  if (done < total_ && ms_between(last_print_, now) < 200.0) return;
+  print_locked(done, now);
+}
+
+void ProgressReporter::finish() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  // The final tick may have lost the done == total_ race to a concurrent
+  // earlier tick (which printed a stale count and swallowed the throttle
+  // window) — emit the 100% line now if nobody has.
+  if (last_printed_done_ != done_) print_locked(done_, Clock::now());
+  if (printed_any_) sink_("\n");
+}
+
+void ProgressReporter::print_locked(std::size_t done, Clock::time_point now) {
+  last_print_ = now;
+  last_printed_done_ = done;
+  printed_any_ = true;
+  const double elapsed_s = ms_between(start_, now) / 1000.0;
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s : 0.0;
+  const double eta_s =
+      rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+  const int percent =
+      total_ > 0 ? static_cast<int>(100 * done / total_) : 100;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\rcampaign: %zu/%zu trials (%d%%)  %.1f trials/s  eta %.0fs ",
+                done, total_, percent, rate, eta_s);
+  sink_(buf);
+}
+
+}  // namespace rise::runner

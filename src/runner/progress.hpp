@@ -1,0 +1,56 @@
+// Throttled campaign progress reporting on stderr.
+//
+// Workers call tick() concurrently; output is serialized by a mutex and
+// throttled to one line per 200 ms so progress never becomes the bottleneck.
+// The terminal 100% line is guaranteed: tick() compares a done-count
+// snapshot taken under the lock (never the racy member), and finish() —
+// called by the campaign after the pool drains — flushes the final line if
+// the last tick's print was suppressed for any reason.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace rise::runner {
+
+class ProgressReporter {
+ public:
+  /// Receives each rendered progress line (no trailing newline; lines start
+  /// with '\r' for in-place terminal updates). Tests inject a capturing sink;
+  /// the default writes to stderr.
+  using Sink = std::function<void(const std::string& line)>;
+
+  /// `enabled` == false makes every call a no-op (the common --progress-off
+  /// path stays branch-cheap).
+  ProgressReporter(std::size_t total, bool enabled, Sink sink = {});
+
+  /// Records one finished trial. Prints at most once per 200 ms, except
+  /// that reaching `total` always prints.
+  void tick();
+
+  /// Flushes the terminal 100% line if it has not been printed yet, then the
+  /// closing newline. Idempotent; call after all workers have finished.
+  void finish();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Renders and emits the line for `done` trials; caller holds mu_.
+  void print_locked(std::size_t done, Clock::time_point now);
+
+  std::mutex mu_;
+  const std::size_t total_;
+  const bool enabled_;
+  Sink sink_;
+  std::size_t done_ = 0;
+  std::size_t last_printed_done_ = 0;
+  bool printed_any_ = false;
+  bool finished_ = false;
+  Clock::time_point start_;
+  Clock::time_point last_print_;
+};
+
+}  // namespace rise::runner

@@ -5,7 +5,9 @@
 //     "tool": "rise_campaign",
 //     "base": { graph/schedule/algo/delay/seed },
 //     "seed_mode": "splitmix" | "sequential",
-//     "num_seeds": N, "jobs": J,
+//     "num_seeds": N,
+//     "prepare_mode": "per_trial" | "shared_config", "reuse": bool,
+//     "jobs": J,
 //     "grid": [ {"param": ..., "values": [...]}, ... ],
 //     "trials": [ { trial, config, seed_index, seed, specs, n, m, rho_awk,
 //                   outcome, messages, bits, time_units, rounds,

@@ -11,13 +11,6 @@ namespace rise::sim {
 
 namespace {
 
-/// Per-directed-channel state, indexed by Instance::directed_edge_id — a
-/// flat array lookup where the engine previously hashed a (from, to) key.
-struct ChannelState {
-  std::uint64_t msg_index = 0;  // messages sent so far on this channel
-  Time last_delivery = 0;       // FIFO clamp
-};
-
 class AsyncImpl;
 
 class AsyncContext final : public CoreContext {
@@ -41,14 +34,28 @@ class AsyncImpl {
   AsyncImpl(const Instance& instance, const DelayPolicy& delays,
             const WakeSchedule& schedule, std::uint64_t seed,
             const ProcessFactory& factory, const RunLimits& limits,
-            TraceSink* trace, obs::Probe* probe, EventQueue::Mode queue_mode)
-      : core_(instance, delays.max_delay(), seed, factory, trace, probe),
+            TraceSink* trace, obs::Probe* probe, EventQueue::Mode queue_mode,
+            RunWorkspace* workspace)
+      : core_(instance, delays.max_delay(), seed, factory, trace, probe,
+              workspace),
         delays_(delays),
+        max_delay_(delays.max_delay()),
+        // Every shipped policy with max_delay() == 1 returns exactly 1 (the
+        // engine-enforced legal range is [1, max_delay]), so the per-send
+        // virtual delay() call can be skipped entirely on the unit-delay
+        // hot path. Fault-injection wrappers (check::LateDeliveryFault)
+        // declare max_delay() >= 2 and therefore never take the fast path.
+        unit_delays_(delays.max_delay() == 1),
         limits_(limits),
         ctx_(*this, core_),
-        channels_(instance.num_directed_edges()),
-        events_(delays.max_delay(), queue_mode),
+        workspace_(workspace),
         probe_(probe) {
+    if (workspace_ != nullptr) {
+      channels_ = std::move(workspace_->channels);
+      events_ = std::move(workspace_->events);
+    }
+    channels_.assign(instance.num_directed_edges(), ChannelState{});
+    events_.reset(max_delay_, queue_mode);
     if (probe_ != nullptr) {
       probe_->set_backend(events_.using_buckets() ? "buckets" : "heap");
     }
@@ -57,6 +64,12 @@ class AsyncImpl {
       RISE_CHECK(u < n);
       events_.push({t, next_seq_++, EventKind::kWake, u, kInvalidPort, {}});
     }
+  }
+
+  ~AsyncImpl() {
+    if (workspace_ == nullptr) return;
+    workspace_->channels = std::move(channels_);
+    workspace_->events = std::move(events_);
   }
 
   RunResult run() {
@@ -100,9 +113,11 @@ class AsyncImpl {
     const NodeId to = instance.port_to_neighbor(from, p);
     if (core_.trace() != nullptr) core_.trace()->on_send(now_, from, to, msg);
     auto& chan = channels_[instance.directed_edge_id(from, p)];
-    const Time d = delays_.delay(from, to, chan.msg_index, now_);
-    RISE_CHECK_MSG(d >= 1 && d <= delays_.max_delay(),
-                   "delay policy out of range");
+    Time d = 1;
+    if (!unit_delays_) {
+      d = delays_.delay(from, to, chan.msg_index, now_);
+      RISE_CHECK_MSG(d >= 1 && d <= max_delay_, "delay policy out of range");
+    }
     ++chan.msg_index;
     Time arrive = now_ + d;
     arrive = std::max(arrive, chan.last_delivery);  // FIFO clamp
@@ -131,8 +146,11 @@ class AsyncImpl {
 
   EngineCore core_;
   const DelayPolicy& delays_;
+  Time max_delay_;
+  bool unit_delays_;
   RunLimits limits_;
   AsyncContext ctx_;
+  RunWorkspace* workspace_;
 
   std::vector<ChannelState> channels_;
   EventQueue events_;
@@ -159,7 +177,7 @@ AsyncEngine::AsyncEngine(const Instance& instance, const DelayPolicy& delays,
 RunResult AsyncEngine::run(const ProcessFactory& factory,
                            const RunLimits& limits) {
   AsyncImpl impl(instance_, delays_, schedule_, seed_, factory, limits,
-                 trace_, probe_, queue_mode_);
+                 trace_, probe_, queue_mode_, workspace_);
   return impl.run();
 }
 

@@ -23,6 +23,7 @@
 #include "sim/process.hpp"
 #include "sim/adversary.hpp"
 #include "sim/trace.hpp"
+#include "sim/workspace.hpp"
 
 namespace rise::sim {
 
@@ -53,9 +54,16 @@ class AsyncEngine {
   /// calendar queue for tau <= EventQueue::kMaxBucketSpan, else the heap.
   void set_event_queue_mode(EventQueue::Mode mode) { queue_mode_ = mode; }
 
+  /// Borrow run storage (per-node tables, channel states, event calendar)
+  /// from a RunWorkspace for the duration of run(), returning it afterwards.
+  /// Reuse is capacity-only: a dirty workspace yields bit-identical results.
+  /// The workspace must outlive run() and belong to the calling thread.
+  void set_workspace(RunWorkspace* workspace) { workspace_ = workspace; }
+
  private:
   TraceSink* trace_ = nullptr;
   obs::Probe* probe_ = nullptr;
+  RunWorkspace* workspace_ = nullptr;
   EventQueue::Mode queue_mode_ = EventQueue::Mode::kAuto;
   const Instance& instance_;
   const DelayPolicy& delays_;

@@ -8,20 +8,45 @@ namespace rise::sim {
 
 EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
                        const ProcessFactory& factory, TraceSink* trace,
-                       obs::Probe* probe)
-    : instance_(instance), trace_(trace), probe_(probe) {
+                       obs::Probe* probe, RunWorkspace* workspace)
+    : instance_(instance),
+      trace_(trace),
+      probe_(probe),
+      workspace_(workspace) {
   const NodeId n = instance.num_nodes();
   if (probe_ != nullptr) probe_->attach_run(n);
+  if (workspace_ != nullptr) {
+    processes_ = std::move(workspace_->processes);
+    rngs_ = std::move(workspace_->rngs);
+    awake_ = std::move(workspace_->awake);
+    result_ = std::move(workspace_->result);
+  }
   processes_.resize(n);
   for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
+  rngs_.clear();
   rngs_.reserve(n);
   for (NodeId u = 0; u < n; ++u) rngs_.emplace_back(mix_seed(seed, u));
   awake_.assign(n, 0);
   result_.wake_time.assign(n, kNever);
   result_.outputs.assign(n, kNoOutput);
+  // Zero the scalar metrics in place while keeping the recycled per-node
+  // counter buffers.
+  auto sent = std::move(result_.metrics.sent_per_node);
+  auto received = std::move(result_.metrics.received_per_node);
+  result_.metrics = Metrics{};
   result_.metrics.tau = tau;
-  result_.metrics.sent_per_node.assign(n, 0);
-  result_.metrics.received_per_node.assign(n, 0);
+  sent.assign(n, 0);
+  received.assign(n, 0);
+  result_.metrics.sent_per_node = std::move(sent);
+  result_.metrics.received_per_node = std::move(received);
+}
+
+EngineCore::~EngineCore() {
+  if (workspace_ == nullptr) return;
+  workspace_->processes = std::move(processes_);
+  workspace_->rngs = std::move(rngs_);
+  workspace_->awake = std::move(awake_);
+  workspace_->result = std::move(result_);
 }
 
 void EngineCore::account_send(NodeId from, const Message& msg, Time t) {

@@ -21,6 +21,7 @@
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
+#include "sim/workspace.hpp"
 
 namespace rise::sim {
 
@@ -29,10 +30,18 @@ class EngineCore {
   /// `tau` is recorded in the metrics (the time-unit normalizer); the
   /// synchronous engine passes 1. `probe`, like `trace`, is a pure
   /// observer (may be null) and must outlive the run; the core sizes its
-  /// per-node tables via attach_run.
+  /// per-node tables via attach_run. When `workspace` is non-null its
+  /// vectors are borrowed for this run (reusing their capacity) and handed
+  /// back on destruction; state is always re-initialized, so a dirty
+  /// workspace yields bit-identical runs.
   EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
              const ProcessFactory& factory, TraceSink* trace,
-             obs::Probe* probe = nullptr);
+             obs::Probe* probe = nullptr, RunWorkspace* workspace = nullptr);
+
+  ~EngineCore();
+
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
 
   const Instance& instance() const { return instance_; }
   TraceSink* trace() const { return trace_; }
@@ -63,6 +72,7 @@ class EngineCore {
   const Instance& instance_;
   TraceSink* trace_;
   obs::Probe* probe_;
+  RunWorkspace* workspace_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> rngs_;
   std::vector<std::uint8_t> awake_;

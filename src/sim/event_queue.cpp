@@ -24,7 +24,9 @@ std::size_t next_pow2(std::size_t v) {
 
 }  // namespace
 
-EventQueue::EventQueue(Time max_delay, Mode mode) {
+EventQueue::EventQueue(Time max_delay, Mode mode) { reset(max_delay, mode); }
+
+void EventQueue::reset(Time max_delay, Mode mode) {
   switch (mode) {
     case Mode::kAuto:
       buckets_on_ = max_delay <= kMaxBucketSpan;
@@ -36,12 +38,23 @@ EventQueue::EventQueue(Time max_delay, Mode mode) {
       buckets_on_ = false;
       break;
   }
+  // Drop leftovers (an exception can abort a run mid-timeline) but keep the
+  // per-bucket and heap capacity for the next run.
+  for (auto& slot : buckets_) slot.clear();
+  heap_.clear();
+  size_ = 0;
+  ring_size_ = 0;
+  cursor_pos_ = 0;
+  cursor_ = 0;
   if (buckets_on_) {
     // B > max_delay so a delivery scheduled while processing time `cursor_`
     // can never wrap onto the bucket currently being drained.
     num_buckets_ = std::max<std::size_t>(64, next_pow2(max_delay + 2));
     mask_ = num_buckets_ - 1;
     buckets_.resize(num_buckets_);
+  } else {
+    num_buckets_ = 0;
+    mask_ = 0;
   }
 }
 

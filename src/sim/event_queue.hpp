@@ -54,6 +54,16 @@ class EventQueue {
 
   explicit EventQueue(Time max_delay, Mode mode = Mode::kAuto);
 
+  /// An empty heap-mode queue; call reset() before pushing. Exists so a
+  /// RunWorkspace can hold a queue between runs.
+  EventQueue() : EventQueue(0, Mode::kHeap) {}
+
+  /// Reconfigures for a new run with the given horizon and backend. The
+  /// bucket ring and heap storage keep their allocated capacity (leftover
+  /// events from an aborted run are discarded), so a recycled queue pushes
+  /// and pops without touching the allocator in steady state.
+  void reset(Time max_delay, Mode mode = Mode::kAuto);
+
   /// Preconditions: ev.t is never in the past (ev.t >= the time of the last
   /// popped event — enforced with an always-on check, since a stale push
   /// would silently land one ring lap late), and deliveries lie within
@@ -81,7 +91,7 @@ class EventQueue {
   /// Moves overflow events that entered the ring horizon into buckets.
   void migrate();
 
-  bool buckets_on_;
+  bool buckets_on_ = false;
   std::size_t num_buckets_ = 0;  // power of two, > max_delay (bucket mode)
   std::size_t mask_ = 0;
   std::vector<std::vector<Event>> buckets_;

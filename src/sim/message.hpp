@@ -67,6 +67,11 @@ class PayloadWords {
   std::uint32_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Words the container can hold without reallocating (kInlineWords while
+  /// inline). Heap capacities are always powers of two — the invariant the
+  /// thread-local payload arena's size classes rely on.
+  std::uint32_t capacity() const { return cap_; }
+
   std::uint64_t* data() { return is_inline() ? inline_ : heap_; }
   const std::uint64_t* data() const { return is_inline() ? inline_ : heap_; }
 
@@ -104,9 +109,9 @@ class PayloadWords {
 
   void grow(std::uint32_t new_cap);
 
-  void release() {
-    if (!is_inline()) delete[] heap_;
-  }
+  /// Returns the heap buffer (if any) to the thread-local payload arena so
+  /// the next spill of the same size class skips the allocator.
+  void release();
 
   /// Takes other's contents; leaves other empty and inline.
   void steal(PayloadWords& other) noexcept {

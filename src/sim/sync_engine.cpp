@@ -32,20 +32,34 @@ class SyncImpl {
  public:
   SyncImpl(const Instance& instance, const WakeSchedule& schedule,
            std::uint64_t seed, const ProcessFactory& factory,
-           const SyncRunLimits& limits, TraceSink* trace, obs::Probe* probe)
-      : core_(instance, /*tau=*/1, seed, factory, trace, probe),
+           const SyncRunLimits& limits, TraceSink* trace, obs::Probe* probe,
+           RunWorkspace* workspace)
+      : core_(instance, /*tau=*/1, seed, factory, trace, probe, workspace),
         limits_(limits),
         ctx_(*this, core_),
+        workspace_(workspace),
         probe_(probe) {
     if (probe_ != nullptr) probe_->set_backend("sync");
     const NodeId n = instance.num_nodes();
+    if (workspace_ != nullptr) {
+      wake_round_ = std::move(workspace_->wake_round);
+      inbox_ = std::move(workspace_->inbox);
+      next_inbox_ = std::move(workspace_->next_inbox);
+    }
     wake_round_.assign(n, kNever);
-    inbox_.resize(n);
-    next_inbox_.resize(n);
+    reset_boxes(inbox_, n);
+    reset_boxes(next_inbox_, n);
     for (const auto& [t, u] : schedule.wakes) {
       RISE_CHECK(u < n);
       pending_wakes_[t].push_back(u);
     }
+  }
+
+  ~SyncImpl() {
+    if (workspace_ == nullptr) return;
+    workspace_->wake_round = std::move(wake_round_);
+    workspace_->inbox = std::move(inbox_);
+    workspace_->next_inbox = std::move(next_inbox_);
   }
 
   RunResult run() {
@@ -134,9 +148,18 @@ class SyncImpl {
   void request_tick(NodeId u) { tick_requests_.insert(u); }
 
  private:
+  /// Clears each recycled inbox (an aborted run can leave messages behind)
+  /// and sizes the vector for n nodes, keeping all inner capacity.
+  static void reset_boxes(std::vector<std::vector<Incoming>>& boxes,
+                          NodeId n) {
+    for (auto& box : boxes) box.clear();
+    boxes.resize(n);
+  }
+
   EngineCore core_;
   SyncRunLimits limits_;
   SyncContext ctx_;
+  RunWorkspace* workspace_;
   obs::Probe* probe_;
 
   Time round_ = 0;
@@ -167,7 +190,8 @@ SyncEngine::SyncEngine(const Instance& instance, WakeSchedule schedule,
 
 RunResult SyncEngine::run(const ProcessFactory& factory,
                           const SyncRunLimits& limits) {
-  SyncImpl impl(instance_, schedule_, seed_, factory, limits, trace_, probe_);
+  SyncImpl impl(instance_, schedule_, seed_, factory, limits, trace_, probe_,
+                workspace_);
   return impl.run();
 }
 

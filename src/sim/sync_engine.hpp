@@ -17,6 +17,7 @@
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
+#include "sim/workspace.hpp"
 
 namespace rise::sim {
 
@@ -41,9 +42,14 @@ class SyncEngine {
   /// outlive run().
   void set_probe(obs::Probe* probe) { probe_ = probe; }
 
+  /// Borrow run storage from a RunWorkspace for run(); see
+  /// AsyncEngine::set_workspace — same contract, bit-identical results.
+  void set_workspace(RunWorkspace* workspace) { workspace_ = workspace; }
+
  private:
   TraceSink* trace_ = nullptr;
   obs::Probe* probe_ = nullptr;
+  RunWorkspace* workspace_ = nullptr;
   const Instance& instance_;
   WakeSchedule schedule_;
   std::uint64_t seed_;

@@ -1,0 +1,59 @@
+// Reusable per-worker run storage.
+//
+// A campaign runs thousands of engine instances back to back; constructing
+// each one from scratch re-allocates the same node-indexed vectors, channel
+// tables, event-queue calendar and result buffers every time. A RunWorkspace
+// owns that storage between runs: engines constructed with a workspace move
+// the vectors in, size them with assign()/resize() (which reuse capacity),
+// and move them back out on destruction — so steady-state trials on a fixed
+// topology perform near-zero heap allocations outside the algorithm itself.
+//
+// A workspace is single-threaded state: it must only ever be used by one
+// engine at a time, on one thread (the campaign runner keeps one per worker
+// thread). Reusing a workspace never changes results — a run with a dirty
+// workspace is bit-identical to one with a fresh engine, which
+// test_sim_workspace pins across engines, queue backends and algorithms.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/process.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace rise::sim {
+
+/// Per-directed-channel state, indexed by Instance::directed_edge_id — a
+/// flat array lookup where the engine previously hashed a (from, to) key.
+struct ChannelState {
+  std::uint64_t msg_index = 0;  // messages sent so far on this channel
+  Time last_delivery = 0;       // FIFO clamp
+};
+
+struct RunWorkspace {
+  // EngineCore storage (both engines).
+  std::vector<std::unique_ptr<Process>> processes;
+  std::vector<Rng> rngs;
+  std::vector<std::uint8_t> awake;
+  RunResult result;  ///< recycled result buffers; see recycle_result()
+
+  // Asynchronous engine storage.
+  std::vector<ChannelState> channels;
+  EventQueue events;
+
+  // Synchronous engine storage.
+  std::vector<Time> wake_round;
+  std::vector<std::vector<Incoming>> inbox;
+  std::vector<std::vector<Incoming>> next_inbox;
+
+  /// Returns a finished run's per-node vectors (wake times, outputs, metrics
+  /// counters) to the workspace so the next engine reuses their capacity.
+  /// Call after extracting everything you need from the result.
+  void recycle_result(RunResult&& finished) { result = std::move(finished); }
+};
+
+}  // namespace rise::sim

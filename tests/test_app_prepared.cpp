@@ -1,0 +1,191 @@
+// The prepare/execute split (app::prepare_experiment / execute_prepared):
+//   * run_experiment(spec) == execute_prepared(prepare_experiment(spec), spec)
+//     bit-for-bit, across sync/async algorithms, advice oracles and random
+//     schedules/delays;
+//   * preparation is deterministic (same spec -> same instance & advice);
+//   * one shared preparation serves many per-trial seeds, including
+//     concurrently from several threads;
+//   * spec/preparation mismatches are rejected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/spec.hpp"
+#include "check/scenario.hpp"
+#include "support/check.hpp"
+
+namespace rise::app {
+namespace {
+
+ExperimentSpec make_spec(const std::string& graph, const std::string& schedule,
+                         const std::string& algorithm,
+                         const std::string& delay, std::uint64_t seed) {
+  ExperimentSpec spec;
+  spec.graph = graph;
+  spec.schedule = schedule;
+  spec.algorithm = algorithm;
+  spec.delay = delay;
+  spec.seed = seed;
+  return spec;
+}
+
+std::uint64_t digest(const ExperimentReport& report) {
+  return check::digest_run(report.result);
+}
+
+TEST(PrepareExecute, EquivalentToRunExperiment) {
+  // One spec per interesting axis: async KT0, async with randomized schedule
+  // and delays, a synchronous advice scheme (oracle in the prepared half),
+  // and a randomized-advice scheme.
+  const ExperimentSpec specs[] = {
+      make_spec("gnp:100:0.06", "single", "flooding", "unit", 5),
+      make_spec("cgnp:120:0.04", "random:0.2", "ranked_dfs", "random:4", 17),
+      make_spec("cgnp:100:0.05", "single", "fip06", "unit", 23),
+      make_spec("cgnp:100:0.05", "staggered:3:2", "sqrt", "unit", 31),
+      make_spec("cycle:48", "set:0,5,11", "gossip:4", "slow:3:10", 41),
+  };
+  for (const ExperimentSpec& spec : specs) {
+    SCOPED_TRACE(spec.algorithm + " on " + spec.graph);
+    const ExperimentReport direct = run_experiment(spec);
+    const PreparedExperiment prepared = prepare_experiment(spec);
+    const ExperimentReport split = execute_prepared(prepared, spec);
+    EXPECT_EQ(digest(direct), digest(split));
+    EXPECT_EQ(direct.num_nodes, split.num_nodes);
+    EXPECT_EQ(direct.num_edges, split.num_edges);
+    EXPECT_EQ(direct.rho_awk, split.rho_awk);
+    EXPECT_EQ(direct.synchronous, split.synchronous);
+    EXPECT_EQ(direct.advice.max_bits, split.advice.max_bits);
+    EXPECT_EQ(direct.advice.total_bits, split.advice.total_bits);
+  }
+}
+
+TEST(PrepareExecute, PreparationIsDeterministic) {
+  // Preparing twice (graph gen + instance + oracle advice) must be a pure
+  // function of the spec: same topology, same advice bits, and executing
+  // either preparation yields identical runs.
+  const ExperimentSpec spec =
+      make_spec("cgnp:150:0.04", "single", "fip06", "unit", 77);
+  const PreparedExperiment a = prepare_experiment(spec);
+  const PreparedExperiment b = prepare_experiment(spec);
+  EXPECT_EQ(a.instance->num_nodes(), b.instance->num_nodes());
+  EXPECT_EQ(a.instance->num_directed_edges(), b.instance->num_directed_edges());
+  EXPECT_EQ(a.advice.max_bits, b.advice.max_bits);
+  EXPECT_EQ(a.advice.total_bits, b.advice.total_bits);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.synchronous, b.synchronous);
+  EXPECT_EQ(digest(execute_prepared(a, spec)), digest(execute_prepared(b, spec)));
+}
+
+TEST(PrepareExecute, OnePreparationServesManySeeds) {
+  // The campaign's kSharedConfig contract: fixed topology + advice, per-trial
+  // schedule/engine randomness. Each seed must match a from-scratch run whose
+  // preparation uses the shared base seed.
+  const std::uint64_t base_seed = 9;
+  const ExperimentSpec base =
+      make_spec("cgnp:100:0.05", "random:0.1", "flooding", "random:3",
+                base_seed);
+  const PreparedExperiment prepared = prepare_experiment(base);
+  for (std::uint64_t run_seed : {1001u, 2002u, 3003u}) {
+    SCOPED_TRACE(run_seed);
+    ExperimentSpec run_spec = base;
+    run_spec.seed = run_seed;
+    const ExperimentReport shared = execute_prepared(prepared, run_spec);
+    // Reference: prepare with the base seed, execute with the run seed.
+    const ExperimentReport reference =
+        execute_prepared(prepare_experiment(base), run_spec);
+    EXPECT_EQ(digest(shared), digest(reference));
+  }
+  // Different run seeds must actually differ (randomized schedule + delays).
+  ExperimentSpec s1 = base;
+  s1.seed = 1001;
+  ExperimentSpec s2 = base;
+  s2.seed = 2002;
+  EXPECT_NE(digest(execute_prepared(prepared, s1)),
+            digest(execute_prepared(prepared, s2)));
+}
+
+TEST(PrepareExecute, SharedInstanceIsSafeUnderConcurrentRuns) {
+  // One const PreparedExperiment, many threads executing with distinct
+  // seeds — the sharing mode the campaign runner uses. Results must equal
+  // the serial reference for every seed.
+  const ExperimentSpec base =
+      make_spec("cgnp:120:0.04", "single", "ranked_dfs", "random:4", 13);
+  const PreparedExperiment prepared = prepare_experiment(base);
+
+  constexpr int kThreads = 8;
+  std::vector<std::uint64_t> serial(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ExperimentSpec spec = base;
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    serial[i] = digest(execute_prepared(prepared, spec));
+  }
+
+  std::vector<std::uint64_t> parallel(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ExperimentSpec spec = base;
+      spec.seed = 100 + static_cast<std::uint64_t>(i);
+      sim::RunWorkspace workspace;  // per-thread, as the campaign keeps it
+      for (int rep = 0; rep < 3; ++rep) {
+        const std::uint64_t d =
+            digest(execute_prepared(prepared, spec, {}, &workspace));
+        if (d != serial[i]) mismatches.fetch_add(1);
+        parallel[i] = d;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(parallel[i], serial[i]);
+}
+
+TEST(PrepareExecute, RejectsMismatchedSpec) {
+  const ExperimentSpec spec =
+      make_spec("path:16", "single", "flooding", "unit", 1);
+  const PreparedExperiment prepared = prepare_experiment(spec);
+  ExperimentSpec wrong_graph = spec;
+  wrong_graph.graph = "cycle:16";
+  EXPECT_THROW(execute_prepared(prepared, wrong_graph), CheckError);
+  ExperimentSpec wrong_algo = spec;
+  wrong_algo.algorithm = "ranked_dfs";
+  EXPECT_THROW(execute_prepared(prepared, wrong_algo), CheckError);
+  // Schedule, delay and seed may differ — that is the sharing contract.
+  ExperimentSpec different_run = spec;
+  different_run.schedule = "all";
+  different_run.delay = "random:2";
+  different_run.seed = 999;
+  EXPECT_NO_THROW(execute_prepared(prepared, different_run));
+}
+
+TEST(PrepareExecute, ProbeSeesSetupPhasesInPrepareAndRunPhasesInExecute) {
+  const ExperimentSpec spec =
+      make_spec("cgnp:100:0.05", "single", "fip06", "unit", 3);
+  obs::Probe probe;
+  const PreparedExperiment prepared = prepare_experiment(spec, &probe);
+  RunInstruments instruments;
+  instruments.probe = &probe;
+  const ExperimentReport report =
+      execute_prepared(prepared, spec, instruments);
+  const obs::RunProfile profile = take_run_profile(probe, report, spec);
+  // Identity comes from (report, spec); host-side timers from both halves.
+  EXPECT_EQ(profile.algorithm, report.algorithm);
+  EXPECT_EQ(profile.num_nodes, report.num_nodes);
+  bool saw_graph = false, saw_advice = false, saw_run = false;
+  for (const auto& timer : profile.timers) {
+    if (timer.name == "setup.graph") saw_graph = true;
+    if (timer.name == "setup.advice") saw_advice = true;
+    if (timer.name == "engine.run") saw_run = true;
+  }
+  EXPECT_TRUE(saw_graph);
+  EXPECT_TRUE(saw_advice);
+  EXPECT_TRUE(saw_run);
+}
+
+}  // namespace
+}  // namespace rise::app

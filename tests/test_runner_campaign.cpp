@@ -247,6 +247,157 @@ TEST(RunCampaign, FormatMentionsConfigsAndTotals) {
   EXPECT_NE(text.find("8"), std::string::npos);  // 2 configs x 4 seeds
 }
 
+void expect_trials_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.trials[i].trial.spec.seed, b.trials[i].trial.spec.seed);
+    EXPECT_EQ(a.trials[i].ok, b.trials[i].ok);
+    EXPECT_EQ(a.trials[i].num_nodes, b.trials[i].num_nodes);
+    EXPECT_EQ(a.trials[i].num_edges, b.trials[i].num_edges);
+    EXPECT_EQ(a.trials[i].all_awake, b.trials[i].all_awake);
+    EXPECT_EQ(a.trials[i].awake_count, b.trials[i].awake_count);
+    EXPECT_EQ(a.trials[i].messages, b.trials[i].messages);
+    EXPECT_EQ(a.trials[i].bits, b.trials[i].bits);
+    EXPECT_EQ(a.trials[i].time_units, b.trials[i].time_units);  // exact
+    EXPECT_EQ(a.trials[i].rounds, b.trials[i].rounds);
+    EXPECT_EQ(a.trials[i].wakeup_span, b.trials[i].wakeup_span);
+    EXPECT_EQ(a.trials[i].awake_node_ticks, b.trials[i].awake_node_ticks);
+  }
+}
+
+TEST(RunCampaign, ReuseNeverChangesResults) {
+  // The tentpole's correctness contract: for either prepare mode, the
+  // prepared/reuse hot path and the rebuild-per-trial path are bit-identical
+  // per trial (this is the gate digest property, asserted field by field).
+  for (const PrepareMode mode :
+       {PrepareMode::kPerTrial, PrepareMode::kSharedConfig}) {
+    SCOPED_TRACE(mode == PrepareMode::kPerTrial ? "per_trial"
+                                                : "shared_config");
+    CampaignPlan plan;
+    plan.base = tiny_spec();
+    plan.base.graph = "cgnp:60:0.08";
+    plan.base.delay = "random:3";
+    plan.num_seeds = 12;
+    plan.grid = {GridAxis{"algo", {"flooding", "ranked_dfs"}}};
+    plan.prepare_mode = mode;
+
+    plan.reuse = false;
+    const CampaignResult rebuild = run_campaign(plan);
+    plan.reuse = true;
+    CampaignOptions parallel;
+    parallel.jobs = 4;  // reuse must also be jobs-independent
+    const CampaignResult reused = run_campaign(plan, parallel);
+    expect_trials_identical(rebuild, reused);
+  }
+}
+
+TEST(RunCampaign, PrepareModesDifferOnlyInTopologySharing) {
+  CampaignPlan plan;
+  plan.base = tiny_spec();
+  plan.base.graph = "gnp:80:0.05";
+  plan.num_seeds = 8;
+
+  plan.prepare_mode = PrepareMode::kPerTrial;
+  const CampaignResult per_trial = run_campaign(plan);
+  plan.prepare_mode = PrepareMode::kSharedConfig;
+  const CampaignResult shared = run_campaign(plan);
+
+  // kSharedConfig: one topology (drawn from the base seed) for the whole
+  // config, so edge counts agree across trials; kPerTrial: each trial draws
+  // its own graph, so some seed produces a different edge count.
+  ASSERT_EQ(shared.trials.size(), 8u);
+  for (const TrialResult& t : shared.trials) {
+    EXPECT_EQ(t.num_edges, shared.trials[0].num_edges);
+    EXPECT_EQ(t.num_nodes, shared.trials[0].num_nodes);
+  }
+  bool any_differs = false;
+  for (const TrialResult& t : per_trial.trials) {
+    any_differs = any_differs || t.num_edges != per_trial.trials[0].num_edges;
+  }
+  EXPECT_TRUE(any_differs);  // gnp edge count varies across seeds
+}
+
+TEST(RunCampaign, PreparedCountersTrackCacheUse) {
+  CampaignPlan plan;
+  plan.base = tiny_spec();
+  plan.num_seeds = 6;
+  plan.grid = {GridAxis{"algo", {"flooding", "ranked_dfs"}}};
+
+  // Shared + reuse: one preparation per config, the rest are cache hits.
+  plan.prepare_mode = PrepareMode::kSharedConfig;
+  plan.reuse = true;
+  const CampaignResult shared = run_campaign(plan);
+  EXPECT_EQ(shared.prepared_configs, 2u);
+  EXPECT_EQ(shared.prepared_cache_hits, 10u);
+
+  // Per-trial (or reuse off): every trial prepares for itself.
+  plan.prepare_mode = PrepareMode::kPerTrial;
+  const CampaignResult per_trial = run_campaign(plan);
+  EXPECT_EQ(per_trial.prepared_configs, 12u);
+  EXPECT_EQ(per_trial.prepared_cache_hits, 0u);
+
+  plan.prepare_mode = PrepareMode::kSharedConfig;
+  plan.reuse = false;
+  const CampaignResult rebuild = run_campaign(plan);
+  EXPECT_EQ(rebuild.prepared_configs, 12u);
+  EXPECT_EQ(rebuild.prepared_cache_hits, 0u);
+}
+
+TEST(RunCampaign, SharedConfigProfilesStayDeterministic) {
+  // Profiled kSharedConfig campaigns must not attach any trial's probe to
+  // the cached preparation (which trial builds it first is a scheduling
+  // race): profiles carry only per-run phases and identical totals whether
+  // the campaign ran on one worker or several.
+  CampaignPlan plan;
+  plan.base = tiny_spec();
+  plan.num_seeds = 8;
+  plan.prepare_mode = PrepareMode::kSharedConfig;
+  plan.profile = true;
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel;
+  parallel.jobs = 4;
+  const CampaignResult a = run_campaign(plan, serial);
+  const CampaignResult b = run_campaign(plan, parallel);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_NE(a.trials[i].profile, nullptr);
+    ASSERT_NE(b.trials[i].profile, nullptr);
+    EXPECT_EQ(a.trials[i].profile->messages, b.trials[i].profile->messages);
+    EXPECT_EQ(a.trials[i].profile->events, b.trials[i].profile->events);
+  }
+  expect_trials_identical(a, b);
+}
+
+TEST(RunCampaign, SharedConfigRejectsCustomTrialFn) {
+  CampaignPlan plan;
+  plan.base = tiny_spec();
+  plan.num_seeds = 2;
+  plan.prepare_mode = PrepareMode::kSharedConfig;
+  plan.run = [](const app::ExperimentSpec&) { return app::ExperimentReport{}; };
+  EXPECT_THROW(run_campaign(plan), CheckError);
+}
+
+TEST(PreparedConfigKey, SeparatesConfigsAndIgnoresPerRunFields) {
+  app::ExperimentSpec spec = tiny_spec();
+  const std::string key = prepared_config_key(spec);
+  app::ExperimentSpec other = spec;
+  other.schedule = "all";
+  other.delay = "random:9";
+  EXPECT_EQ(prepared_config_key(other), key);  // per-run fields excluded
+  other = spec;
+  other.graph = "cycle:16";
+  EXPECT_NE(prepared_config_key(other), key);
+  other = spec;
+  other.algorithm = "ranked_dfs";
+  EXPECT_NE(prepared_config_key(other), key);
+  other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_NE(prepared_config_key(other), key);  // seed class is part of the key
+}
+
 // Satellite (f): a written results file parses with the json.hpp reader and
 // carries the schema version, exact seeds, and consistent counts.
 TEST(JsonResultSinkTest, RoundTripsThroughJsonReader) {
@@ -266,6 +417,8 @@ TEST(JsonResultSinkTest, RoundTripsThroughJsonReader) {
   EXPECT_EQ(doc.at("num_seeds").u64, 8u);
   EXPECT_EQ(doc.at("jobs").u64, 3u);
   EXPECT_EQ(doc.at("seed_mode").string, "splitmix");
+  EXPECT_EQ(doc.at("prepare_mode").string, "per_trial");  // plan default
+  EXPECT_TRUE(doc.at("reuse").boolean);
   EXPECT_EQ(doc.at("base").at("graph").string, "path:16");
   ASSERT_EQ(doc.at("grid").size(), 1u);
   EXPECT_EQ(doc.at("grid").at(std::size_t{0}).at("param").string, "algo");

@@ -1,0 +1,118 @@
+// Satellite (f): the campaign ProgressReporter must always end with the
+// terminal 100% line, even when the last tick lands inside the 200 ms
+// throttle window — the bug was reading the racy done_ member instead of a
+// snapshot taken under the lock, so a throttled final tick left the display
+// stuck below 100%. Tests drive the reporter through an injected sink.
+#include "runner/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rise::runner {
+namespace {
+
+struct Capture {
+  std::vector<std::string> lines;
+  ProgressReporter::Sink sink() {
+    return [this](const std::string& line) { lines.push_back(line); };
+  }
+};
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(ProgressReporter, FinalLineAlwaysShowsTotal) {
+  // All ticks fire within one throttle window; without the fix only the
+  // first would print and the 100% line would be lost.
+  Capture capture;
+  ProgressReporter progress(50, /*enabled=*/true, capture.sink());
+  for (int i = 0; i < 50; ++i) progress.tick();
+  progress.finish();
+  ASSERT_FALSE(capture.lines.empty());
+  // The last progress line (the closing "\n" sentinel may follow it).
+  std::string last;
+  for (const std::string& line : capture.lines) {
+    if (line != "\n") last = line;
+  }
+  EXPECT_TRUE(contains(last, "50/50")) << last;
+  EXPECT_TRUE(contains(last, "100%")) << last;
+}
+
+TEST(ProgressReporter, ReachingTotalPrintsWithoutFinish) {
+  // The final tick itself bypasses the throttle: done == total always
+  // prints, so a live terminal shows 100% before finish() runs.
+  Capture capture;
+  ProgressReporter progress(3, /*enabled=*/true, capture.sink());
+  progress.tick();
+  progress.tick();
+  progress.tick();
+  ASSERT_FALSE(capture.lines.empty());
+  EXPECT_TRUE(contains(capture.lines.back(), "3/3"));
+  const std::size_t lines_before_finish = capture.lines.size();
+  progress.finish();
+  // finish() adds only the closing newline — the 100% line is not repeated.
+  ASSERT_EQ(capture.lines.size(), lines_before_finish + 1);
+  EXPECT_EQ(capture.lines.back(), "\n");
+}
+
+TEST(ProgressReporter, FinishIsIdempotent) {
+  Capture capture;
+  ProgressReporter progress(4, /*enabled=*/true, capture.sink());
+  for (int i = 0; i < 4; ++i) progress.tick();
+  progress.finish();
+  const std::size_t after_first = capture.lines.size();
+  progress.finish();
+  progress.finish();
+  EXPECT_EQ(capture.lines.size(), after_first);
+}
+
+TEST(ProgressReporter, DisabledReporterEmitsNothing) {
+  Capture capture;
+  ProgressReporter progress(10, /*enabled=*/false, capture.sink());
+  for (int i = 0; i < 10; ++i) progress.tick();
+  progress.finish();
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(ProgressReporter, FinishWithoutReachingTotalFlushesLastCount) {
+  // A campaign that errors out early still reports how far it got.
+  Capture capture;
+  ProgressReporter progress(100, /*enabled=*/true, capture.sink());
+  for (int i = 0; i < 7; ++i) progress.tick();
+  progress.finish();
+  std::string last;
+  for (const std::string& line : capture.lines) {
+    if (line != "\n") last = line;
+  }
+  EXPECT_TRUE(contains(last, "7/100")) << last;
+}
+
+TEST(ProgressReporter, ConcurrentTicksNeverLoseTheFinalLine) {
+  // The production call pattern: many workers ticking concurrently. Repeat
+  // to give the throttle race (tick's snapshot vs printing) chances to bite.
+  for (int round = 0; round < 20; ++round) {
+    Capture capture;
+    ProgressReporter progress(64, /*enabled=*/true, capture.sink());
+    std::vector<std::thread> workers;
+    workers.reserve(4);
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&progress] {
+        for (int i = 0; i < 16; ++i) progress.tick();
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    progress.finish();
+    std::string last;
+    for (const std::string& line : capture.lines) {
+      if (line != "\n") last = line;
+    }
+    EXPECT_TRUE(contains(last, "64/64")) << "round " << round << ": " << last;
+  }
+}
+
+}  // namespace
+}  // namespace rise::runner

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate the campaign-throughput speedup measured by bench_campaign_micro.
+
+Reads the JSON report written by ``bench_campaign_micro --out ...`` and fails
+(exit 1) unless every gated case (``"gate": true``) shows
+
+  * ``digest_match``: the prepared/reuse path produced bit-identical
+    per-trial results to the rebuild-per-trial path, and
+  * ``trials_per_sec_ratio >= --threshold`` (default 3.0): the zero-rebuild
+    hot path actually pays for itself.
+
+Non-gated cases are printed for context but never fail the check. This is
+the acceptance gate recorded in BENCH_campaign.json; CI regenerates the
+report on every push, e.g.:
+
+    bench_campaign_micro --trials 120 --reps 5 --out campaign_bench.json
+    python3 tools/check_campaign_throughput.py campaign_bench.json
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="bench_campaign_micro JSON report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="minimum trials-per-second ratio for gated cases (default 3.0)",
+    )
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        report = json.load(f)
+
+    cases = report.get("cases", [])
+    if not cases:
+        raise SystemExit("error: no cases in the report")
+
+    failures = []
+    gated = 0
+    for case in cases:
+        name = case["name"]
+        ratio = case["trials_per_sec_ratio"]
+        match = case["digest_match"]
+        gate = case.get("gate", False)
+        marker = "gate" if gate else "info"
+        print(
+            f"[{marker}] {name}: "
+            f"{case['rebuild']['trials_per_sec']:.1f} -> "
+            f"{case['prepared']['trials_per_sec']:.1f} trials/s "
+            f"({ratio:.2f}x), allocs/trial "
+            f"{case['rebuild']['allocs_per_trial']} -> "
+            f"{case['prepared']['allocs_per_trial']}, "
+            f"digests {'match' if match else 'MISMATCH'}"
+        )
+        if not match:
+            failures.append(f"{name}: digest mismatch (correctness bug)")
+        if gate:
+            gated += 1
+            if ratio < args.threshold:
+                failures.append(
+                    f"{name}: ratio {ratio:.2f}x below threshold "
+                    f"{args.threshold:.2f}x"
+                )
+
+    if gated == 0:
+        failures.append("no gated case in the report")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"OK ({gated} gated case(s), threshold {args.threshold:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

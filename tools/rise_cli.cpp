@@ -36,7 +36,7 @@ void usage() {
       "usage: rise_cli [run] [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
       "                [--delay SPEC] [--seed N] [--seeds COUNT] [--jobs N]\n"
       "                [--json PATH] [--grid PARAM=a,b,c]... [--progress]\n"
-      "                [--profile[=PATH]]\n"
+      "                [--profile[=PATH]] [--share-config] [--no-reuse]\n"
       "       rise_cli --list\n"
       "       rise_cli --dot GRAPH_SPEC [--seed N]\n"
       "       rise_cli profile FILE [--top N]\n"
@@ -68,7 +68,17 @@ void usage() {
       "                    delay}; repeatable, axes combine as a cartesian\n"
       "                    product\n"
       "  --progress        completed/total + trials/s + ETA on stderr\n"
-      "                    (auto-enabled on a tty)\n\n"
+      "                    (auto-enabled on a tty)\n"
+      "  --share-config    prepare each grid config once from the base seed\n"
+      "                    (graph + instance + oracle advice shared across\n"
+      "                    its trials); only schedule/delay/engine\n"
+      "                    randomness vary per trial. Changes what is\n"
+      "                    measured — variance over runs on one topology —\n"
+      "                    so it is opt-in; default rebuilds per trial seed.\n"
+      "  --no-reuse        disable execution-level reuse (per-worker engine\n"
+      "                    workspaces + the shared-config preparation\n"
+      "                    cache). Results are bit-identical either way;\n"
+      "                    exists for benchmarking the rebuild path.\n\n"
       "fuzz: sample deterministic scenarios, check run invariants, and\n"
       "  replay each on every engine configuration that must agree (bucket\n"
       "  vs heap event queue, async vs lock-step for unit-delay flooding,\n"
@@ -238,6 +248,8 @@ int main(int argc, char** argv) {
   bool progress = false;
   bool campaign_mode = false;
   bool profile = false;
+  bool share_config = false;
+  bool reuse = true;
   std::size_t seeds = 1;
   std::size_t jobs = 1;
   // "run" is an optional subcommand alias for the default mode, symmetric
@@ -273,6 +285,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--grid") {
       grid_args.push_back(value());
       campaign_mode = true;
+    } else if (arg == "--share-config") {
+      share_config = true;
+      campaign_mode = true;
+    } else if (arg == "--no-reuse") {
+      reuse = false;
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg.rfind("--profile=", 0) == 0) {
@@ -315,6 +332,9 @@ int main(int argc, char** argv) {
       plan.base = spec;
       plan.num_seeds = seeds;
       plan.profile = profile;
+      plan.prepare_mode = share_config ? runner::PrepareMode::kSharedConfig
+                                       : runner::PrepareMode::kPerTrial;
+      plan.reuse = reuse;
       for (const auto& axis : grid_args) {
         plan.grid.push_back(runner::parse_grid_axis(axis));
       }
