@@ -71,6 +71,25 @@ class LogHistogram {
                        : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
+  /// Rebuilds a histogram from its serialized form (per-bucket counts plus
+  /// the exact count/sum/min/max) — the inverse of the sparse JSON encoding
+  /// in src/obs/profile.cpp. A restored histogram is indistinguishable from
+  /// the original under every accessor and under merge(), which is what lets
+  /// the shard orchestrator re-merge profiles parsed from worker documents.
+  static LogHistogram restore(const std::uint64_t (&counts)[kBuckets],
+                              std::uint64_t count, std::uint64_t sum,
+                              std::uint64_t min, std::uint64_t max) {
+    LogHistogram h;
+    for (unsigned b = 0; b < kBuckets; ++b) h.counts_[b] = counts[b];
+    h.count_ = count;
+    h.sum_ = sum;
+    if (count > 0) {
+      h.min_ = min;
+      h.max_ = max;
+    }
+    return h;
+  }
+
   /// Bucket-resolution nearest-rank quantile: the lower bound of the bucket
   /// containing the ceil(p * count)-th value. 0 when empty; p outside [0, 1]
   /// is clamped. For exact cross-trial quantiles use SampleStats — this is

@@ -207,6 +207,119 @@ std::string profile_to_json(const RunProfile& p) {
   return os.str();
 }
 
+namespace {
+
+// ---- helpers for profile_from_json (inverse of the writers above) -------
+
+LogHistogram read_histogram(const json::Value& v) {
+  RISE_CHECK_MSG(v.is_object(), "histogram is not a JSON object");
+  std::uint64_t counts[LogHistogram::kBuckets] = {};
+  const json::Value* buckets = v.find("buckets");
+  if (buckets != nullptr && buckets->is_array()) {
+    for (const json::Value& pair : buckets->array) {
+      RISE_CHECK_MSG(pair.is_array() && pair.size() == 2,
+                     "histogram bucket is not a [lo, count] pair");
+      // The serialized lo is bucket_lo(b), and bucket_of(bucket_lo(b)) == b
+      // for every b, so the bucket index round-trips through its lo value.
+      const unsigned b = LogHistogram::bucket_of(pair.at(0).u64);
+      counts[b] = pair.at(1).u64;
+    }
+  }
+  return LogHistogram::restore(counts, get_u64(v, "count"), get_u64(v, "sum"),
+                               get_u64(v, "min"), get_u64(v, "max"));
+}
+
+EngineProfile read_engine(const json::Value& v) {
+  EngineProfile e;
+  e.backend = get_str(v, "backend");
+  e.events_popped = get_u64(v, "events_popped");
+  e.queue_high_water = get_u64(v, "queue_high_water");
+  e.ring_high_water = get_u64(v, "ring_high_water");
+  e.overflow_high_water = get_u64(v, "overflow_high_water");
+  if (const json::Value* h = v.find("queue_depth")) {
+    e.queue_depth = read_histogram(*h);
+  }
+  e.rounds_stepped = get_u64(v, "rounds_stepped");
+  if (const json::Value* h = v.find("round_active")) {
+    e.round_active = read_histogram(*h);
+  }
+  return e;
+}
+
+}  // namespace
+
+RunProfile profile_from_json(const json::Value& doc) {
+  RISE_CHECK_MSG(doc.is_object() && get_str(doc, "kind") == "run_profile",
+                 "not a run_profile document");
+  RunProfile p;
+  p.algorithm = get_str(doc, "algorithm");
+  p.graph = get_str(doc, "graph");
+  p.schedule = get_str(doc, "schedule");
+  p.delay = get_str(doc, "delay");
+  p.seed = get_u64(doc, "seed");
+  p.num_nodes = static_cast<std::uint32_t>(get_u64(doc, "num_nodes"));
+  p.num_edges = get_u64(doc, "num_edges");
+  if (const json::Value* f = doc.find("synchronous")) p.synchronous = f->boolean;
+
+  const json::Value& totals = doc.at("totals");
+  p.messages = get_u64(totals, "messages");
+  p.bits = get_u64(totals, "bits");
+  p.deliveries = get_u64(totals, "deliveries");
+  p.events = get_u64(totals, "events");
+  p.rounds = get_u64(totals, "rounds");
+  p.time_units = get_num(totals, "time_units");
+
+  if (const json::Value* phases = doc.find("phases")) {
+    for (const json::Value& v : phases->array) {
+      PhaseProfile ph;
+      ph.name = get_str(v, "name");
+      ph.marks = get_u64(v, "marks");
+      ph.messages = get_u64(v, "messages");
+      ph.bits = get_u64(v, "bits");
+      const json::Value* first = v.find("first_send");
+      if (first != nullptr && !first->is_null()) {
+        ph.first_send = first->u64;
+        ph.last_send = get_u64(v, "last_send");
+      }
+      ph.message_bits = read_histogram(v.at("message_bits"));
+      p.phases.push_back(std::move(ph));
+    }
+  }
+
+  if (const json::Value* classes = doc.find("classes")) {
+    for (const json::Value& v : classes->array) {
+      ClassProfile c;
+      c.name = get_str(v, "name");
+      c.nodes = get_u64(v, "nodes");
+      c.messages = get_u64(v, "messages");
+      c.sent_per_node = read_histogram(v.at("sent_per_node"));
+      p.classes.push_back(std::move(c));
+    }
+  }
+
+  if (const json::Value* counters = doc.find("counters")) {
+    for (const auto& [name, v] : counters->object) {
+      p.counters.emplace_back(name, v.u64);
+    }
+  }
+
+  if (const json::Value* engine = doc.find("engine")) {
+    p.engine = read_engine(*engine);
+  }
+
+  if (const json::Value* timers = doc.find("timers")) {
+    for (const json::Value& v : timers->array) {
+      TimerProfile t;
+      t.name = get_str(v, "name");
+      t.calls = get_u64(v, "calls");
+      t.wall_seconds = get_num(v, "wall_seconds");
+      t.sim_ticks = get_u64(v, "sim_ticks");
+      p.timers.push_back(std::move(t));
+    }
+  }
+  return p;
+}
+
 void ProfileAggregate::merge(const RunProfile& p) {
   ++trials;
   messages += p.messages;

@@ -115,6 +115,14 @@ struct RunProfile {
 void write_profile(json::Writer& w, const RunProfile& p);
 std::string profile_to_json(const RunProfile& p);
 
+/// Inverse of write_profile: rebuilds a RunProfile from its parsed JSON
+/// document (CheckError unless `doc` is a run_profile object). Exact —
+/// integers round-trip through the u64-preserving reader and doubles through
+/// the shortest-round-trip writer — so merging parsed profiles in trial-index
+/// order reproduces the in-process ProfileAggregate bit for bit; the shard
+/// orchestrator's merge path (runner/shard.cpp) relies on exactly this.
+RunProfile profile_from_json(const json::Value& doc);
+
 /// Deterministic merge of per-trial profiles (merge order = trial-index
 /// order in the campaign runner). Sums are exact; cross-trial distributions
 /// (messages, time units, per-phase messages) are SampleStats, so the

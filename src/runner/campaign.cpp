@@ -1,14 +1,20 @@
 #include "runner/campaign.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
 
+#include "check/scenario.hpp"
 #include "runner/progress.hpp"
+#include "runner/shard.hpp"
 #include "runner/thread_pool.hpp"
+#include "store/digest.hpp"
+#include "store/result_store.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -38,6 +44,72 @@ struct PreparedPolicy {
   bool shared_config = false;
   bool reuse_workspace = false;
 };
+
+/// The campaign's read-through/write-through connection to the result store
+/// (one per run_campaign call; shared by all worker threads).
+struct StoreContext {
+  store::ResultStore* store = nullptr;
+  std::string prepare_tag;  ///< keys every trial of this campaign
+  bool serve_hits = false;  ///< false while profiling (records carry no profile)
+  int die_after = 0;        ///< fault injection; see CampaignOptions
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<int> executed{0};
+};
+
+store::TrialRecord to_record(const TrialResult& r,
+                             const std::string& prepare_tag) {
+  store::TrialRecord rec;
+  rec.graph = r.trial.spec.graph;
+  rec.schedule = r.trial.spec.schedule;
+  rec.algorithm = r.trial.spec.algorithm;
+  rec.delay = r.trial.spec.delay;
+  rec.seed = r.trial.spec.seed;
+  rec.prepare_tag = prepare_tag;
+  rec.ok = r.ok;
+  rec.error = r.error;
+  rec.num_nodes = r.num_nodes;
+  rec.num_edges = r.num_edges;
+  rec.rho_awk = r.rho_awk;
+  rec.synchronous = r.synchronous;
+  rec.all_awake = r.all_awake;
+  rec.awake_count = r.awake_count;
+  rec.messages = r.messages;
+  rec.bits = r.bits;
+  rec.time_units = r.time_units;
+  rec.rounds = r.rounds;
+  rec.wakeup_span = r.wakeup_span;
+  rec.awake_node_ticks = r.awake_node_ticks;
+  rec.advice_max_bits = r.advice_max_bits;
+  rec.advice_avg_bits = r.advice_avg_bits;
+  rec.result_digest = r.result_digest;
+  rec.wall_ms = r.wall_ms;
+  return rec;
+}
+
+void from_record(const store::TrialRecord& rec, TrialResult& r) {
+  r.ok = rec.ok;
+  r.error = rec.error;
+  r.num_nodes = rec.num_nodes;
+  r.num_edges = rec.num_edges;
+  r.rho_awk = rec.rho_awk;
+  r.synchronous = rec.synchronous;
+  r.all_awake = rec.all_awake;
+  r.awake_count = rec.awake_count;
+  r.messages = rec.messages;
+  r.bits = rec.bits;
+  r.time_units = rec.time_units;
+  r.rounds = rec.rounds;
+  r.wakeup_span = rec.wakeup_span;
+  r.awake_node_ticks = rec.awake_node_ticks;
+  r.advice_max_bits = static_cast<std::size_t>(rec.advice_max_bits);
+  r.advice_avg_bits = rec.advice_avg_bits;
+  r.result_digest = rec.result_digest;
+  // The original execution's wall clock, not this campaign's; kept for the
+  // record but flagged by from_store so consumers can tell.
+  r.wall_ms = rec.wall_ms;
+  r.from_store = true;
+}
 
 TrialResult execute_trial(const Trial& trial, const TrialFn& run,
                           bool profile, const PreparedPolicy& policy) {
@@ -95,6 +167,9 @@ TrialResult execute_trial(const Trial& trial, const TrialFn& run,
     r.awake_node_ticks = report.result.awake_node_ticks();
     r.advice_max_bits = report.advice.max_bits;
     r.advice_avg_bits = report.advice.avg_bits;
+    // Digest before the result buffers are recycled. A pure function of the
+    // trial's inputs — the currency of the shard/resume equivalence tests.
+    r.result_digest = check::digest_run(report.result);
     if (!run && policy.reuse_workspace) {
       // Everything needed is extracted; hand the per-node result buffers
       // back so the next trial on this worker reuses their capacity.
@@ -105,6 +180,37 @@ TrialResult execute_trial(const Trial& trial, const TrialFn& run,
     r.error = e.what();
   }
   r.wall_ms = ms_between(t0, Clock::now());
+  return r;
+}
+
+/// execute_trial behind the result store: serve a recorded trial without
+/// executing, record an executed one, and honour the die-after fault point.
+TrialResult execute_or_fetch(const Trial& trial, const TrialFn& run,
+                             bool profile, const PreparedPolicy& policy,
+                             StoreContext& sc) {
+  if (sc.store == nullptr) return execute_trial(trial, run, profile, policy);
+  if (sc.serve_hits) {
+    const store::Digest128 key = store::trial_key(trial.spec, sc.prepare_tag);
+    if (const store::TrialRecord* rec =
+            sc.store->lookup(key, trial.spec, sc.prepare_tag)) {
+      TrialResult r;
+      r.trial = trial;
+      from_record(*rec, r);
+      sc.hits.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    }
+  }
+  sc.misses.fetch_add(1, std::memory_order_relaxed);
+  TrialResult r = execute_trial(trial, run, profile, policy);
+  sc.store->append(to_record(r, sc.prepare_tag));
+  if (sc.die_after > 0 &&
+      sc.executed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          sc.die_after) {
+    // Fault injection: the record above is flushed, then this process dies
+    // as abruptly as a machine failure would take it. A restarted worker
+    // resumes from exactly this point via the store.
+    std::raise(SIGKILL);
+  }
   return r;
 }
 
@@ -196,21 +302,33 @@ std::size_t config_count(const CampaignPlan& plan) {
   return count;
 }
 
+namespace {
+
+/// The grid-substituted spec of config `config_index` (seed = the base
+/// seed). Shared by expand_trials and aggregate_campaign so the shard merge
+/// path re-derives exactly the specs the trials were expanded from.
+app::ExperimentSpec config_spec_at(const CampaignPlan& plan,
+                                   std::size_t config_index) {
+  app::ExperimentSpec spec = plan.base;
+  // Decode the config index in mixed radix, last grid axis fastest.
+  std::size_t rem = config_index;
+  for (std::size_t a = plan.grid.size(); a-- > 0;) {
+    const GridAxis& axis = plan.grid[a];
+    apply_grid_param(spec, axis.param, axis.values[rem % axis.values.size()]);
+    rem /= axis.values.size();
+  }
+  return spec;
+}
+
+}  // namespace
+
 std::vector<Trial> expand_trials(const CampaignPlan& plan) {
   RISE_CHECK_MSG(plan.num_seeds >= 1, "campaign needs at least one seed");
   const std::size_t configs = config_count(plan);
   std::vector<Trial> trials;
   trials.reserve(configs * plan.num_seeds);
   for (std::size_t c = 0; c < configs; ++c) {
-    app::ExperimentSpec config_spec = plan.base;
-    // Decode the config index in mixed radix, last grid axis fastest.
-    std::size_t rem = c;
-    for (std::size_t a = plan.grid.size(); a-- > 0;) {
-      const GridAxis& axis = plan.grid[a];
-      apply_grid_param(config_spec, axis.param,
-                       axis.values[rem % axis.values.size()]);
-      rem /= axis.values.size();
-    }
+    const app::ExperimentSpec config_spec = config_spec_at(plan, c);
     for (std::size_t s = 0; s < plan.num_seeds; ++s) {
       Trial t;
       t.index = c * plan.num_seeds + s;
@@ -231,7 +349,14 @@ CampaignResult run_campaign(const CampaignPlan& plan,
   RISE_CHECK_MSG(!plan.run || plan.prepare_mode == PrepareMode::kPerTrial,
                  "PrepareMode::kSharedConfig requires the default trial "
                  "function (a custom TrialFn has no preparation seam)");
-  const std::vector<Trial> trials = expand_trials(plan);
+  RISE_CHECK_MSG(options.store == nullptr || !plan.run,
+                 "the result store requires the default trial function "
+                 "(records are keyed by spec strings, which do not describe "
+                 "what a custom TrialFn computes)");
+  std::vector<Trial> trials = expand_trials(plan);
+  if (!options.shard.whole_campaign()) {
+    trials = shard_trials(trials, options.shard, options.shard_strategy);
+  }
 
   // Profiling needs the probe seam; a custom TrialFn has none.
   const bool profile = plan.profile && !plan.run;
@@ -245,21 +370,38 @@ CampaignResult run_campaign(const CampaignPlan& plan,
   // i.e. when the prep seed is per-config rather than per-trial.
   if (policy.shared_config && plan.reuse) policy.cache = &cache;
 
+  StoreContext sc;
+  sc.store = options.store;
+  // A stored record carries no RunProfile, so a profiled campaign cannot be
+  // served from the store — it still writes through, warming the store for
+  // later unprofiled runs.
+  sc.serve_hits = !profile;
+  sc.die_after = options.die_after;
+  if (sc.store != nullptr) {
+    sc.prepare_tag = policy.shared_config
+                         ? store::prepare_tag_shared(plan.base.seed)
+                         : store::prepare_tag_per_trial();
+  }
+
   CampaignResult result;
   result.jobs =
       options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
+  // Slots are positional over this (possibly shard-filtered) trial subset;
+  // each TrialResult keeps its global index in trial.index.
   result.trials.resize(trials.size());
 
   const auto t0 = Clock::now();
   {
     ProgressReporter progress(trials.size(), options.progress);
     ThreadPool pool(result.jobs);
-    for (const Trial& trial : trials) {
-      // &trial and &result.trials[i] stay valid: neither vector is resized
-      // while the pool runs, and each slot is written by exactly one task.
-      TrialResult* slot = &result.trials[trial.index];
-      pool.submit([&trial, slot, &plan, &policy, &progress, profile] {
-        *slot = execute_trial(trial, plan.run, profile, policy);
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      // &trials[i] and &result.trials[i] stay valid: neither vector is
+      // resized while the pool runs, and each slot is written by exactly
+      // one task.
+      const Trial* trial = &trials[i];
+      TrialResult* slot = &result.trials[i];
+      pool.submit([trial, slot, &plan, &policy, &progress, profile, &sc] {
+        *slot = execute_or_fetch(*trial, plan.run, profile, policy, sc);
         progress.tick();
       });
     }
@@ -267,9 +409,15 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     progress.finish();
   }
   result.wall_ms = ms_between(t0, Clock::now());
+  result.store_hits = sc.hits.load(std::memory_order_relaxed);
+  result.store_misses = sc.misses.load(std::memory_order_relaxed);
   if (!plan.run) {
+    // Store-served trials prepare nothing; only executed ones count.
+    const std::uint64_t executed =
+        sc.store != nullptr ? result.store_misses
+                            : static_cast<std::uint64_t>(trials.size());
     result.prepared_configs =
-        policy.cache != nullptr ? cache.misses() : trials.size();
+        policy.cache != nullptr ? cache.misses() : executed;
     result.prepared_cache_hits = policy.cache != nullptr ? cache.hits() : 0;
   }
   result.trials_per_sec =
@@ -277,27 +425,37 @@ CampaignResult run_campaign(const CampaignPlan& plan,
           ? static_cast<double>(trials.size()) / (result.wall_ms / 1000.0)
           : 0.0;
 
-  // Aggregate in trial-index order — fixed regardless of which worker
-  // finished first — so SampleStats sees the same insertion sequence for
-  // every jobs value.
-  result.configs.resize(config_count(plan));
-  for (const TrialResult& r : result.trials) {
-    ConfigStats& config = result.configs[r.trial.config_index];
-    if (config.trials == 0) {
-      config.spec = r.trial.spec;
-      config.spec.seed = plan.base.seed;
-    }
-    accumulate(config, r, plan.require_all_awake);
-    accumulate(result.total, r, plan.require_all_awake);
-    if (r.profile != nullptr) result.profile.merge(*r.profile);
-  }
-  result.total.spec = plan.base;
+  aggregate_campaign(plan, result);
 
   if (options.sink != nullptr) {
     for (const TrialResult& r : result.trials) options.sink->trial(r);
     options.sink->summary(result);
   }
   return result;
+}
+
+void aggregate_campaign(const CampaignPlan& plan, CampaignResult& result) {
+  // Aggregate in result.trials order — the caller guarantees trial-index
+  // order, fixed regardless of which worker finished first — so SampleStats
+  // sees the same insertion sequence for every jobs value, shard split, and
+  // merge path.
+  result.configs.assign(config_count(plan), ConfigStats{});
+  result.total = ConfigStats{};
+  result.profile = obs::ProfileAggregate{};
+  for (std::size_t c = 0; c < result.configs.size(); ++c) {
+    result.configs[c].spec = config_spec_at(plan, c);
+  }
+  for (const TrialResult& r : result.trials) {
+    RISE_CHECK_MSG(r.trial.config_index < result.configs.size(),
+                   "trial " << r.trial.index << " names config "
+                            << r.trial.config_index << " of a plan with only "
+                            << result.configs.size());
+    accumulate(result.configs[r.trial.config_index], r,
+               plan.require_all_awake);
+    accumulate(result.total, r, plan.require_all_awake);
+    if (r.profile != nullptr) result.profile.merge(*r.profile);
+  }
+  result.total.spec = plan.base;
 }
 
 std::string format_campaign(const CampaignResult& result) {

@@ -22,6 +22,10 @@
 #include "runner/prepared.hpp"
 #include "support/stats.hpp"
 
+namespace rise::store {
+class ResultStore;
+}  // namespace rise::store
+
 namespace rise::runner {
 
 /// How trial seeds derive from the campaign's base seed.
@@ -90,6 +94,16 @@ struct TrialResult {
   /// every aggregate; reported per trial and in the summary timing block.
   double wall_ms = 0.0;
 
+  /// check::digest_run of the trial's full RunResult (0 when !ok). A pure
+  /// function of the trial's inputs, so it is the unit the shard/resume
+  /// equivalence invariant is stated over: any shard split or store-resumed
+  /// run must reproduce the single-process digest stream bit for bit.
+  std::uint64_t result_digest = 0;
+
+  /// True when this result was served from the content-addressed result
+  /// store instead of being executed (see CampaignOptions::store).
+  bool from_store = false;
+
   /// Per-run observability profile, populated only when CampaignPlan::profile
   /// is set (and the plan uses the default run function). shared_ptr keeps
   /// TrialResult cheap to copy; null otherwise. Timer wall-clock fields inside
@@ -133,6 +147,11 @@ struct CampaignResult {
   /// Trials served by an already-built preparation (kSharedConfig + reuse
   /// only; 0 otherwise).
   std::uint64_t prepared_cache_hits = 0;
+
+  /// Result-store traffic (0 unless CampaignOptions::store was set): trials
+  /// served from the store vs executed and appended to it.
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
 };
 
 /// Observer of a finished campaign. trial() is invoked once per trial in
@@ -188,10 +207,47 @@ struct CampaignPlan {
   bool reuse = true;
 };
 
+/// One shard of an N-way trial-index split (see runner/shard.hpp for the
+/// planner and the multi-process orchestrator built on top).
+struct ShardSpec {
+  std::uint32_t index = 0;  ///< in [0, count)
+  std::uint32_t count = 1;  ///< 1 = the whole campaign (the default)
+
+  bool whole_campaign() const { return count <= 1; }
+};
+
+/// How trial indices map onto shards. Both are deterministic; per-trial
+/// results are identical either way (seed-partition independence tests
+/// sweep both), they differ only in load shape.
+enum class ShardStrategy {
+  /// index % count == shard: interleaves configs across workers (default).
+  kRoundRobin,
+  /// Contiguous blocks of ceil(total/count) indices per shard.
+  kBlock,
+};
+
 struct CampaignOptions {
   std::size_t jobs = 1;        ///< worker threads; 0 = all hardware threads
   bool progress = false;       ///< completed/total + trials/s + ETA on stderr
   ResultSink* sink = nullptr;  ///< optional observer (e.g. JsonResultSink)
+
+  /// Execute only this shard's trials (global trial indices are preserved
+  /// in the results). The default runs the whole campaign.
+  ShardSpec shard;
+  ShardStrategy shard_strategy = ShardStrategy::kRoundRobin;
+
+  /// Content-addressed trial cache (src/store). When set (default run
+  /// function only): a trial whose key has a record is served from the
+  /// store without executing; every executed trial is appended. Profiled
+  /// campaigns bypass lookups (a cached record has no RunProfile to serve)
+  /// but still append. Serving from the store never changes results — the
+  /// record holds exactly the fields TrialResult would, digest included.
+  store::ResultStore* store = nullptr;
+
+  /// Fault injection for resume tests (0 = off): after this many executed
+  /// (store-miss) trials have been recorded, the process SIGKILLs itself —
+  /// a deterministic stand-in for a worker crashing mid-campaign.
+  int die_after = 0;
 };
 
 /// Number of grid configurations (product of axis sizes; 1 with no grid).
@@ -204,6 +260,14 @@ std::vector<Trial> expand_trials(const CampaignPlan& plan);
 /// plan-level errors (bad grid axis, zero seeds) throw.
 CampaignResult run_campaign(const CampaignPlan& plan,
                             const CampaignOptions& options = {});
+
+/// Rebuilds result.configs / result.total / result.profile from
+/// result.trials, aggregating in vector order (the caller guarantees that
+/// is trial-index order). Shared by run_campaign and the shard merge path
+/// (runner/shard.cpp) so a merged N-shard campaign aggregates with exactly
+/// the single-process algebra. Config specs are re-derived from the plan,
+/// so configs whose trials live on other shards still carry their spec.
+void aggregate_campaign(const CampaignPlan& plan, CampaignResult& result);
 
 /// Human-readable multi-line summary (per-config and total stats).
 std::string format_campaign(const CampaignResult& result);

@@ -37,6 +37,16 @@ void ProgressReporter::tick() {
   print_locked(done, now);
 }
 
+void ProgressReporter::update(std::size_t done) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (done <= done_) return;  // polled counts may briefly regress; keep max
+  done_ = done;
+  const auto now = Clock::now();
+  if (done < total_ && ms_between(last_print_, now) < 200.0) return;
+  print_locked(done, now);
+}
+
 void ProgressReporter::finish() {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);

@@ -31,6 +31,12 @@ class ProgressReporter {
   /// that reaching `total` always prints.
   void tick();
 
+  /// Sets the absolute done count (monotonically; a lower value is ignored).
+  /// For observers that poll external progress rather than complete trials
+  /// themselves — the shard orchestrator polls the result store's record
+  /// count across all workers and reports it here. Same throttle as tick().
+  void update(std::size_t done);
+
   /// Flushes the terminal 100% line if it has not been printed yet, then the
   /// closing newline. Idempotent; call after all workers have finished.
   void finish();

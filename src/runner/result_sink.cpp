@@ -1,12 +1,44 @@
 #include "runner/result_sink.hpp"
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <ctime>
+#include <utility>
+
+#include "obs/profile.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace rise::runner {
 
+Provenance collect_provenance(const ShardSpec& shard) {
+  Provenance p;
+  char host[256] = {};
+  p.hostname = ::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0'
+                   ? host
+                   : "unknown";
+  const char* commit = std::getenv("RISE_COMMIT");
+  if (commit == nullptr || commit[0] == '\0') {
+    commit = std::getenv("GITHUB_SHA");
+  }
+  p.commit = commit != nullptr && commit[0] != '\0' ? commit : "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  char stamp[32] = {};
+  if (::gmtime_r(&now, &utc) != nullptr &&
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+    p.started_at = stamp;
+  } else {
+    p.started_at = "unknown";
+  }
+  p.shard_index = shard.index;
+  p.shard_count = shard.count;
+  return p;
+}
+
 JsonResultSink::JsonResultSink(std::ostream& os, const CampaignPlan& plan,
-                               std::size_t jobs)
-    : writer_(os) {
+                               std::size_t jobs, SinkOptions options)
+    : writer_(os), options_(std::move(options)) {
   writer_.begin_object();
   writer_.kv("schema_version", kResultsSchemaVersion);
   writer_.kv("tool", "rise_campaign");
@@ -27,6 +59,14 @@ JsonResultSink::JsonResultSink(std::ostream& os, const CampaignPlan& plan,
   writer_.kv("reuse", plan.reuse);
   writer_.kv("jobs", static_cast<std::uint64_t>(
                          jobs == 0 ? ThreadPool::hardware_threads() : jobs));
+  writer_.key("provenance").begin_object();
+  writer_.kv("hostname", options_.provenance.hostname);
+  writer_.kv("commit", options_.provenance.commit);
+  writer_.kv("started_at", options_.provenance.started_at);
+  writer_.kv("shard_index", options_.provenance.shard_index);
+  writer_.kv("shard_count", options_.provenance.shard_count);
+  writer_.kv("merged", options_.provenance.merged);
+  writer_.end_object();
   writer_.key("grid").begin_array();
   for (const GridAxis& axis : plan.grid) {
     writer_.begin_object();
@@ -68,6 +108,12 @@ void JsonResultSink::trial(const TrialResult& r) {
     writer_.kv("advice_max_bits",
                static_cast<std::uint64_t>(r.advice_max_bits));
     writer_.kv("advice_avg_bits", r.advice_avg_bits);
+    writer_.kv("digest", r.result_digest);
+  }
+  writer_.kv("cached", r.from_store);
+  if (options_.embed_profiles && r.profile != nullptr) {
+    writer_.key("run_profile");
+    obs::write_profile(writer_, *r.profile);
   }
   writer_.kv("wall_ms", r.wall_ms);
   writer_.end_object();
@@ -113,6 +159,11 @@ void JsonResultSink::summary(const CampaignResult& result) {
   writer_.end_array();
   writer_.key("total").begin_object();
   write_config_stats(result.total);
+  writer_.end_object();
+  writer_.key("store").begin_object();
+  writer_.kv("enabled", options_.store_enabled);
+  writer_.kv("hits", result.store_hits);
+  writer_.kv("misses", result.store_misses);
   writer_.end_object();
   writer_.end_object();  // summary
   writer_.key("timing").begin_object();

@@ -1,0 +1,59 @@
+#include "store/digest.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace rise::store {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = basis;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::string prepare_tag_per_trial() { return "per_trial"; }
+
+std::string prepare_tag_shared(std::uint64_t base_seed) {
+  return "shared_config:" + std::to_string(base_seed);
+}
+
+std::string canonical_trial_json(const app::ExperimentSpec& spec,
+                                 std::string_view prepare_tag) {
+  std::ostringstream os;
+  json::Writer w(os, /*pretty=*/false);
+  w.begin_object();
+  w.kv("graph", spec.graph);
+  w.kv("schedule", spec.schedule);
+  w.kv("algo", spec.algorithm);
+  w.kv("delay", spec.delay);
+  w.kv("seed", spec.seed);
+  w.kv("prepare", prepare_tag);
+  w.end_object();
+  return os.str();
+}
+
+Digest128 trial_key(const app::ExperimentSpec& spec,
+                    std::string_view prepare_tag) {
+  const std::string canon = canonical_trial_json(spec, prepare_tag);
+  Digest128 d;
+  d.lo = fnv1a64(canon);
+  // Independent second stream: same prime, decorrelated basis.
+  d.hi = fnv1a64(canon, kFnvBasis ^ 0x5BD1E9955BD1E995ull);
+  return d;
+}
+
+std::string format_digest(const Digest128& d) {
+  char buf[2 + 32 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%016llx%016llx",
+                static_cast<unsigned long long>(d.hi),
+                static_cast<unsigned long long>(d.lo));
+  return buf;
+}
+
+}  // namespace rise::store

@@ -1,0 +1,75 @@
+// Content addressing for the on-disk result store (src/store).
+//
+// A stored trial result is keyed by a 128-bit digest of its *inputs*: the
+// canonical JSON rendering of the grid-substituted experiment spec (graph /
+// schedule / algo / delay / the trial's derived seed) plus a preparation tag
+// that captures how the immutable inputs were built (per-trial vs
+// shared-config with the campaign base seed — the two modes produce
+// different results for the same spec, so they must never alias in the
+// store). Because runner::trial_seed is a pure function of (base seed, trial
+// index), the key of every trial of a campaign is reproducible from the plan
+// alone: any shard split, a resumed run, or a later identical campaign all
+// derive the same keys and therefore hit the same records.
+//
+// The digest is two independent 64-bit FNV-1a streams over the canonical
+// JSON bytes. 128 bits makes accidental collisions implausible at any
+// realistic campaign scale; record payloads nevertheless carry the full spec
+// strings, so a lookup can (and does) verify identity, making a collision a
+// detected miss rather than silent corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "app/spec.hpp"
+
+namespace rise::store {
+
+/// 128-bit content digest; value type with the obvious equality.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) {
+    return !(a == b);
+  }
+};
+
+struct Digest128Hash {
+  std::size_t operator()(const Digest128& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// FNV-1a over `bytes`, folded from `basis` (pass kFnvBasis for the standard
+/// stream; a different basis yields an independent stream).
+inline constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis = kFnvBasis);
+
+/// The preparation tag for a trial: "per_trial" (the default campaign mode,
+/// where the prep seed is the trial seed already present in the spec) or
+/// "shared_config:<base_seed>" (PrepareMode::kSharedConfig, where the
+/// preparation is drawn from the campaign base seed instead).
+std::string prepare_tag_per_trial();
+std::string prepare_tag_shared(std::uint64_t base_seed);
+
+/// Canonical compact JSON of a trial's inputs:
+///   {"graph":G,"schedule":S,"algo":A,"delay":D,"seed":N,"prepare":TAG}
+/// Key order and formatting are fixed (the streaming writer is
+/// deterministic), so equal inputs always produce byte-identical text.
+std::string canonical_trial_json(const app::ExperimentSpec& spec,
+                                 std::string_view prepare_tag);
+
+/// Digest of canonical_trial_json(spec, prepare_tag) — the store key.
+Digest128 trial_key(const app::ExperimentSpec& spec,
+                    std::string_view prepare_tag);
+
+/// Renders "0x<hi><lo>" (32 hex digits) for logs and error messages.
+std::string format_digest(const Digest128& d);
+
+}  // namespace rise::store

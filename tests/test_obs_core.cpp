@@ -312,6 +312,49 @@ TEST(ProfileAggregate, MergeSumsAndTracksPerTrialQuantiles) {
   EXPECT_NE(pretty.find("more"), std::string::npos);  // top-N overflow line
 }
 
+// The shard orchestrator rebuilds RunProfiles from the per-trial JSON that
+// workers embed, then re-merges them. The parse must be a true inverse of
+// profile_to_json, and merging parsed profiles must equal merging the
+// originals bit for bit — otherwise merged profile aggregates would drift
+// from single-process ones.
+TEST(ProfileJson, ParseIsAnExactInverseOfSerialize) {
+  const obs::RunProfile p = sample_profile();
+  const obs::RunProfile back =
+      obs::profile_from_json(json::parse(obs::profile_to_json(p)));
+  // Serializing the parsed profile reproduces the original text exactly.
+  EXPECT_EQ(obs::profile_to_json(back), obs::profile_to_json(p));
+  EXPECT_EQ(back.seed, kMax);
+  EXPECT_EQ(back.messages, p.messages);
+  ASSERT_EQ(back.phases.size(), p.phases.size());
+  EXPECT_EQ(back.phases[1].first_send, p.phases[1].first_send);
+  EXPECT_EQ(back.phases[0].first_send, sim::kNever);  // null round-trips
+  EXPECT_EQ(back.counters, p.counters);
+  EXPECT_EQ(back.engine.backend, p.engine.backend);
+}
+
+TEST(ProfileJson, MergingParsedProfilesMatchesMergingOriginals) {
+  obs::RunProfile a = sample_profile();
+  obs::RunProfile b = sample_profile();
+  b.messages = 6;
+  b.phases[1].messages = 4;
+  b.time_units = 10.0;
+
+  obs::ProfileAggregate direct;
+  direct.merge(a);
+  direct.merge(b);
+
+  obs::ProfileAggregate via_json;
+  via_json.merge(obs::profile_from_json(json::parse(obs::profile_to_json(a))));
+  via_json.merge(obs::profile_from_json(json::parse(obs::profile_to_json(b))));
+
+  EXPECT_EQ(obs::aggregate_to_json(via_json), obs::aggregate_to_json(direct));
+}
+
+TEST(ProfileJson, ParseRejectsForeignDocuments) {
+  EXPECT_THROW(obs::profile_from_json(json::parse("{\"kind\":\"x\"}")),
+               CheckError);
+}
+
 TEST(ProfileAggregate, BackendConflictReportsMixed) {
   obs::RunProfile a = sample_profile();
   obs::RunProfile b = sample_profile();

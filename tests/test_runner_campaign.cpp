@@ -414,7 +414,18 @@ TEST(JsonResultSinkTest, RoundTripsThroughJsonReader) {
 
   const json::Value doc = json::parse(os.str());
   EXPECT_EQ(doc.at("schema_version").u64, kResultsSchemaVersion);
+  EXPECT_EQ(kResultsSchemaVersion, 2u);  // provenance + digests + store block
   EXPECT_EQ(doc.at("num_seeds").u64, 8u);
+
+  // Schema v2: a provenance block records where and when the run happened.
+  const json::Value& prov = doc.at("provenance");
+  EXPECT_FALSE(prov.at("hostname").string.empty());
+  EXPECT_FALSE(prov.at("commit").string.empty());
+  EXPECT_EQ(prov.at("started_at").string.size(), 20u);  // ISO-8601 Zulu
+  EXPECT_EQ(prov.at("started_at").string.back(), 'Z');
+  EXPECT_EQ(prov.at("shard_index").u64, 0u);
+  EXPECT_EQ(prov.at("shard_count").u64, 1u);
+  EXPECT_FALSE(prov.at("merged").boolean);
   EXPECT_EQ(doc.at("jobs").u64, 3u);
   EXPECT_EQ(doc.at("seed_mode").string, "splitmix");
   EXPECT_EQ(doc.at("prepare_mode").string, "per_trial");  // plan default
@@ -433,7 +444,18 @@ TEST(JsonResultSinkTest, RoundTripsThroughJsonReader) {
     ASSERT_TRUE(t.at("seed").is_integer);
     EXPECT_EQ(t.at("seed").u64, result.trials[i].trial.spec.seed);
     EXPECT_EQ(t.at("messages").u64, result.trials[i].messages);
+    // Schema v2: every ok trial carries its result digest and cache flag.
+    ASSERT_TRUE(t.at("digest").is_integer);
+    EXPECT_EQ(t.at("digest").u64, result.trials[i].result_digest);
+    EXPECT_NE(t.at("digest").u64, 0u);
+    EXPECT_FALSE(t.at("cached").boolean);  // no store in this run
   }
+
+  // Schema v2: the summary reports store usage (disabled here).
+  const json::Value& store_block = doc.at("summary").at("store");
+  EXPECT_FALSE(store_block.at("enabled").boolean);
+  EXPECT_EQ(store_block.at("hits").u64, 0u);
+  EXPECT_EQ(store_block.at("misses").u64, 0u);
 
   const json::Value& total = doc.at("summary").at("total");
   EXPECT_EQ(total.at("trials").u64, 16u);

@@ -1,0 +1,328 @@
+// Tests for the shard planner and the store-backed campaign paths
+// (runner/shard + CampaignOptions::shard/store): the trial-index partition
+// is exact for every shard count and strategy, per-trial seeds and digests
+// are pure functions of the trial index (so any shard split reproduces the
+// single-process digest stream bit for bit), the result store serves
+// repeated and resumed campaigns without re-executing, and the merged
+// aggregates equal the single-process algebra exactly.
+#include "runner/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+#include "store/digest.hpp"
+#include "store/result_store.hpp"
+#include "support/check.hpp"
+
+namespace rise::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("rise_shard_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// 2 configs x 7 seeds = 14 cheap trials; 7 and 2 divide nothing evenly, so
+/// shard counts 2 and 7 both exercise ragged partitions.
+CampaignPlan small_plan() {
+  CampaignPlan plan;
+  plan.base.graph = "path:8";
+  plan.base.schedule = "single";
+  plan.base.algorithm = "flooding";
+  plan.base.delay = "unit";
+  plan.base.seed = 5;
+  plan.grid.push_back(parse_grid_axis("algo=flooding,ranked_dfs"));
+  plan.num_seeds = 7;
+  return plan;
+}
+
+ShardSpec make_shard(std::uint32_t index, std::uint32_t count) {
+  ShardSpec s;
+  s.index = index;
+  s.count = count;
+  return s;
+}
+
+TEST(ParseShardSpec, AcceptsKOverN) {
+  const ShardSpec s = parse_shard_spec("2/8");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_FALSE(s.whole_campaign());
+  EXPECT_TRUE(parse_shard_spec("0/1").whole_campaign());
+}
+
+TEST(ParseShardSpec, RejectsMalformedAndOutOfRange) {
+  EXPECT_THROW(parse_shard_spec("8/8"), CheckError);
+  EXPECT_THROW(parse_shard_spec("9/8"), CheckError);
+  EXPECT_THROW(parse_shard_spec("3"), CheckError);
+  EXPECT_THROW(parse_shard_spec("/2"), CheckError);
+  EXPECT_THROW(parse_shard_spec("2/"), CheckError);
+  EXPECT_THROW(parse_shard_spec("a/b"), CheckError);
+  EXPECT_THROW(parse_shard_spec("1/0"), CheckError);
+}
+
+TEST(ShardOwns, EveryIndexBelongsToExactlyOneShard) {
+  for (const std::size_t total : {std::size_t{1}, std::size_t{10},
+                                  std::size_t{14}, std::size_t{29}}) {
+    for (const std::uint32_t count : {1u, 2u, 3u, 7u, 16u}) {
+      for (const ShardStrategy strategy :
+           {ShardStrategy::kRoundRobin, ShardStrategy::kBlock}) {
+        for (std::size_t i = 0; i < total; ++i) {
+          int owners = 0;
+          for (std::uint32_t k = 0; k < count; ++k) {
+            owners += shard_owns(make_shard(k, count), i, total, strategy);
+          }
+          EXPECT_EQ(owners, 1) << "total " << total << " count " << count
+                               << " index " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardTrials, DisjointUnionReassemblesTheCampaign) {
+  const CampaignPlan plan = small_plan();
+  const std::vector<Trial> all = expand_trials(plan);
+  ASSERT_EQ(all.size(), 14u);
+  for (const std::uint32_t count : {1u, 2u, 7u}) {
+    for (const ShardStrategy strategy :
+         {ShardStrategy::kRoundRobin, ShardStrategy::kBlock}) {
+      std::vector<Trial> reassembled;
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const std::vector<Trial> owned =
+            shard_trials(all, make_shard(k, count), strategy);
+        // Order within a shard is trial-index order.
+        for (std::size_t i = 1; i < owned.size(); ++i) {
+          EXPECT_LT(owned[i - 1].index, owned[i].index);
+        }
+        reassembled.insert(reassembled.end(), owned.begin(), owned.end());
+      }
+      ASSERT_EQ(reassembled.size(), all.size());
+      std::sort(reassembled.begin(), reassembled.end(),
+                [](const Trial& a, const Trial& b) { return a.index < b.index; });
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(reassembled[i].index, all[i].index);
+        EXPECT_EQ(reassembled[i].config_index, all[i].config_index);
+        EXPECT_EQ(reassembled[i].spec.seed, all[i].spec.seed);
+        EXPECT_EQ(reassembled[i].spec.algorithm, all[i].spec.algorithm);
+      }
+    }
+  }
+}
+
+TEST(ShardTrials, SeedsAndKeysArePureFunctionsOfTheIndex) {
+  const CampaignPlan plan = small_plan();
+  const std::vector<Trial> a = expand_trials(plan);
+  const std::vector<Trial> b = expand_trials(plan);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.seed, b[i].spec.seed);
+    EXPECT_EQ(a[i].spec.seed, trial_seed(plan.base.seed, i));
+    // The store key derives from the spec alone, so it is equally pure.
+    EXPECT_EQ(store::trial_key(a[i].spec, store::prepare_tag_per_trial()),
+              store::trial_key(b[i].spec, store::prepare_tag_per_trial()));
+  }
+}
+
+/// Compares every deterministic per-trial field and the aggregate algebra.
+void expect_equivalent(const CampaignResult& actual,
+                       const CampaignResult& reference) {
+  ASSERT_EQ(actual.trials.size(), reference.trials.size());
+  for (std::size_t i = 0; i < reference.trials.size(); ++i) {
+    const TrialResult& x = actual.trials[i];
+    const TrialResult& r = reference.trials[i];
+    EXPECT_EQ(x.trial.index, r.trial.index);
+    EXPECT_EQ(x.ok, r.ok);
+    EXPECT_EQ(x.result_digest, r.result_digest) << "trial " << i;
+    EXPECT_EQ(x.messages, r.messages);
+    EXPECT_EQ(x.bits, r.bits);
+    EXPECT_EQ(x.time_units, r.time_units);
+    EXPECT_EQ(x.rounds, r.rounds);
+    EXPECT_EQ(x.wakeup_span, r.wakeup_span);
+    EXPECT_EQ(x.awake_node_ticks, r.awake_node_ticks);
+  }
+  ASSERT_EQ(actual.configs.size(), reference.configs.size());
+  for (std::size_t c = 0; c < reference.configs.size(); ++c) {
+    EXPECT_EQ(actual.configs[c].trials, reference.configs[c].trials);
+    EXPECT_EQ(actual.configs[c].failures, reference.configs[c].failures);
+    EXPECT_EQ(actual.configs[c].errors, reference.configs[c].errors);
+    // Bit-identical doubles: same samples in the same insertion order.
+    EXPECT_EQ(actual.configs[c].messages.mean(),
+              reference.configs[c].messages.mean());
+    EXPECT_EQ(actual.configs[c].messages.stddev(),
+              reference.configs[c].messages.stddev());
+    EXPECT_EQ(actual.configs[c].messages.median(),
+              reference.configs[c].messages.median());
+  }
+  EXPECT_EQ(actual.total.trials, reference.total.trials);
+  EXPECT_EQ(actual.total.messages.mean(), reference.total.messages.mean());
+  EXPECT_EQ(actual.total.time_units.stddev(),
+            reference.total.time_units.stddev());
+}
+
+TEST(ShardedCampaign, AnyShardSplitReproducesTheUnshardedDigestStream) {
+  const CampaignPlan plan = small_plan();
+  const CampaignResult reference = run_campaign(plan);
+  ASSERT_EQ(reference.trials.size(), 14u);
+
+  for (const std::uint32_t count : {2u, 7u}) {
+    for (const ShardStrategy strategy :
+         {ShardStrategy::kRoundRobin, ShardStrategy::kBlock}) {
+      // Run every shard as its own campaign, as worker processes would.
+      CampaignResult merged;
+      merged.trials.assign(reference.trials.size(), TrialResult{});
+      std::vector<bool> seen(reference.trials.size(), false);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        CampaignOptions options;
+        options.shard = make_shard(k, count);
+        options.shard_strategy = strategy;
+        const CampaignResult part = run_campaign(plan, options);
+        for (const TrialResult& r : part.trials) {
+          ASSERT_LT(r.trial.index, seen.size());
+          ASSERT_FALSE(seen[r.trial.index]);
+          seen[r.trial.index] = true;
+          merged.trials[r.trial.index] = r;
+        }
+      }
+      EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                              [](bool b) { return b; }));
+      aggregate_campaign(plan, merged);
+      expect_equivalent(merged, reference);
+    }
+  }
+}
+
+TEST(StoreBackedCampaign, SecondRunIsServedEntirelyFromTheStore) {
+  const CampaignPlan plan = small_plan();
+  const CampaignResult reference = run_campaign(plan);
+  const std::string dir = test_dir("second_run");
+
+  {
+    store::ResultStore store(dir, "solo");
+    CampaignOptions options;
+    options.store = &store;
+    const CampaignResult cold = run_campaign(plan, options);
+    EXPECT_EQ(cold.store_hits, 0u);
+    EXPECT_EQ(cold.store_misses, 14u);
+    expect_equivalent(cold, reference);
+  }
+  // A fresh process (fresh store object) serves everything from disk.
+  store::ResultStore store(dir, "solo");
+  CampaignOptions options;
+  options.store = &store;
+  const CampaignResult warm = run_campaign(plan, options);
+  EXPECT_EQ(warm.store_hits, 14u);
+  EXPECT_EQ(warm.store_misses, 0u);
+  EXPECT_EQ(warm.prepared_configs, 0u) << "cache hits must not prepare";
+  for (const TrialResult& r : warm.trials) EXPECT_TRUE(r.from_store);
+  expect_equivalent(warm, reference);
+}
+
+TEST(StoreBackedCampaign, InterruptedCampaignResumesWhereItStopped) {
+  const CampaignPlan plan = small_plan();
+  const CampaignResult reference = run_campaign(plan);
+  const std::string dir = test_dir("resume");
+
+  // "Crash" after one shard's worth of work: only shard 0 of 2 ran.
+  std::size_t completed = 0;
+  {
+    store::ResultStore store(dir, "shard-0");
+    CampaignOptions options;
+    options.shard = make_shard(0, 2);
+    options.store = &store;
+    completed = run_campaign(plan, options).trials.size();
+    EXPECT_GT(completed, 0u);
+  }
+  // The resumed full campaign re-executes exactly the missing trials.
+  store::ResultStore store(dir, "solo");
+  CampaignOptions options;
+  options.store = &store;
+  const CampaignResult resumed = run_campaign(plan, options);
+  EXPECT_EQ(resumed.store_hits, completed);
+  EXPECT_EQ(resumed.store_misses, 14u - completed);
+  expect_equivalent(resumed, reference);
+}
+
+TEST(StoreBackedCampaign, ProfiledRunsBypassLookupsButStillAppend) {
+  CampaignPlan plan = small_plan();
+  const std::string dir = test_dir("profiled");
+  {
+    store::ResultStore store(dir, "solo");
+    CampaignOptions options;
+    options.store = &store;
+    plan.profile = true;
+    const CampaignResult profiled = run_campaign(plan, options);
+    EXPECT_EQ(profiled.store_hits, 0u);
+    EXPECT_EQ(profiled.store_misses, 14u);
+    EXPECT_EQ(profiled.profile.trials, 14u);
+  }
+  // The profiled run warmed the store for unprofiled runs.
+  store::ResultStore store(dir, "solo");
+  CampaignOptions options;
+  options.store = &store;
+  plan.profile = false;
+  const CampaignResult warm = run_campaign(plan, options);
+  EXPECT_EQ(warm.store_hits, 14u);
+  EXPECT_EQ(warm.store_misses, 0u);
+}
+
+TEST(StoreBackedCampaign, StoreRequiresTheDefaultTrialFunction) {
+  CampaignPlan plan = small_plan();
+  plan.run = [](const app::ExperimentSpec& spec) {
+    return app::run_experiment(spec);
+  };
+  const std::string dir = test_dir("custom_fn");
+  store::ResultStore store(dir, "solo");
+  CampaignOptions options;
+  options.store = &store;
+  EXPECT_THROW(run_campaign(plan, options), CheckError);
+}
+
+TEST(WorkerCommand, SerializesThePlanAndShardIdentity) {
+  const CampaignPlan plan = small_plan();
+  ShardCampaignOptions options;
+  options.exe = "/usr/bin/rise_cli";
+  options.store_dir = "/tmp/store";
+  options.workers = 3;
+  options.jobs_per_worker = 2;
+  options.die_after = 4;
+  options.die_worker = 1;
+
+  const std::vector<std::string> cmd =
+      worker_command(plan, options, 1, /*first_launch=*/true);
+  auto has = [&cmd](const std::string& token) {
+    return std::find(cmd.begin(), cmd.end(), token) != cmd.end();
+  };
+  EXPECT_EQ(cmd.front(), "/usr/bin/rise_cli");
+  EXPECT_TRUE(has("--shard"));
+  EXPECT_TRUE(has("1/3"));
+  EXPECT_TRUE(has("--store"));
+  EXPECT_TRUE(has("/tmp/store"));
+  EXPECT_TRUE(has("--seeds"));
+  EXPECT_TRUE(has("7"));
+  EXPECT_TRUE(has("--grid"));
+  EXPECT_TRUE(has("algo=flooding,ranked_dfs"));
+  EXPECT_TRUE(has("--no-progress"));
+  EXPECT_TRUE(has("--die-after"));
+  EXPECT_TRUE(has("4"));
+
+  // Fault injection arms only the designated worker, only on first launch.
+  const std::vector<std::string> other =
+      worker_command(plan, options, 2, /*first_launch=*/true);
+  EXPECT_EQ(std::find(other.begin(), other.end(), "--die-after"), other.end());
+  const std::vector<std::string> relaunch =
+      worker_command(plan, options, 1, /*first_launch=*/false);
+  EXPECT_EQ(std::find(relaunch.begin(), relaunch.end(), "--die-after"),
+            relaunch.end());
+}
+
+}  // namespace
+}  // namespace rise::runner

@@ -25,7 +25,9 @@
 #include "obs/profile.hpp"
 #include "runner/campaign.hpp"
 #include "runner/result_sink.hpp"
+#include "runner/shard.hpp"
 #include "runner/thread_pool.hpp"
+#include "store/result_store.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 
@@ -37,6 +39,10 @@ void usage() {
       "                [--delay SPEC] [--seed N] [--seeds COUNT] [--jobs N]\n"
       "                [--json PATH] [--grid PARAM=a,b,c]... [--progress]\n"
       "                [--profile[=PATH]] [--share-config] [--no-reuse]\n"
+      "                [--store DIR] [--shard K/N]\n"
+      "       rise_cli shard --workers N --store DIR [campaign flags]\n"
+      "                      [--max-restarts N] [--json PATH]\n"
+      "                      [--profile[=PATH]]\n"
       "       rise_cli --list\n"
       "       rise_cli --dot GRAPH_SPEC [--seed N]\n"
       "       rise_cli profile FILE [--top N]\n"
@@ -78,7 +84,25 @@ void usage() {
       "  --no-reuse        disable execution-level reuse (per-worker engine\n"
       "                    workspaces + the shared-config preparation\n"
       "                    cache). Results are bit-identical either way;\n"
-      "                    exists for benchmarking the rebuild path.\n\n"
+      "                    exists for benchmarking the rebuild path.\n"
+      "  --store DIR       content-addressed result store: trials already\n"
+      "                    recorded (same spec + seed + prepare mode) are\n"
+      "                    served from DIR without executing; every executed\n"
+      "                    trial is appended. Makes interrupted campaigns\n"
+      "                    resumable and repeated grid points free.\n"
+      "  --shard K/N       execute only shard K of an N-way trial-index\n"
+      "                    split (results keep global trial indices);\n"
+      "                    normally set by `rise_cli shard`, not by hand\n\n"
+      "shard: run a campaign as N worker processes against a shared result\n"
+      "  store, restart crashed workers (they resume from the store), and\n"
+      "  merge the workers' outputs into one results document whose\n"
+      "  per-trial digests are bit-identical to a single-process run.\n"
+      "  --workers N       worker process count (= shard count; default 2)\n"
+      "  --store DIR       shared result store directory (required)\n"
+      "  --max-restarts N  per-worker crash-restart budget (default 3)\n"
+      "  --jobs N          threads per worker (default 1)\n"
+      "  campaign flags (--graph, --seeds, --grid, --share-config, ...)\n"
+      "  describe the plan exactly as in campaign mode.\n\n"
       "fuzz: sample deterministic scenarios, check run invariants, and\n"
       "  replay each on every engine configuration that must agree (bucket\n"
       "  vs heap event queue, async vs lock-step for unit-delay flooding,\n"
@@ -219,6 +243,174 @@ int run_profile_command(int argc, char** argv) {
   return 0;
 }
 
+/// Fail-fast output check: an output path the campaign cannot write must
+/// kill the run before any trial executes, not after minutes of work.
+/// Opens (creating/truncating) the file; prints an error naming the path on
+/// failure. The caller overwrites the file with real content later.
+bool ensure_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::binary | std::ios::trunc);
+  if (!probe.good()) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// This binary's own path, for `rise_cli shard` to exec workers.
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+int run_shard_command(int argc, char** argv) {
+  using namespace rise;
+  app::ExperimentSpec spec;
+  runner::CampaignPlan plan;
+  runner::ShardCampaignOptions options;
+  std::vector<std::string> grid_args;
+  std::string profile_path;
+  std::size_t seeds = 1;
+  bool profile = false;
+  bool share_config = false;
+  int progress_state = -1;  // -1 auto (tty), 0 off, 1 on
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--graph") {
+      spec.graph = value();
+    } else if (arg == "--schedule") {
+      spec.schedule = value();
+    } else if (arg == "--algo") {
+      spec.algorithm = value();
+    } else if (arg == "--delay") {
+      spec.delay = value();
+    } else if (arg == "--seed") {
+      spec.seed = parse_count(arg, value());
+    } else if (arg == "--seeds") {
+      seeds = parse_count(arg, value());
+    } else if (arg == "--grid") {
+      grid_args.push_back(value());
+    } else if (arg == "--share-config") {
+      share_config = true;
+    } else if (arg == "--no-reuse") {
+      plan.reuse = false;
+    } else if (arg == "--workers") {
+      options.workers = static_cast<std::uint32_t>(parse_count(arg, value()));
+    } else if (arg == "--jobs") {
+      options.jobs_per_worker = parse_count(arg, value());
+    } else if (arg == "--store") {
+      options.store_dir = value();
+    } else if (arg == "--max-restarts") {
+      options.max_restarts = static_cast<int>(parse_count(arg, value()));
+    } else if (arg == "--shard-strategy") {
+      const std::string s = value();
+      if (s == "block") {
+        options.strategy = runner::ShardStrategy::kBlock;
+      } else if (s == "roundrobin") {
+        options.strategy = runner::ShardStrategy::kRoundRobin;
+      } else {
+        std::fprintf(stderr,
+                     "error: --shard-strategy expects roundrobin|block\n");
+        return 2;
+      }
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = true;
+      profile_path = arg.substr(std::strlen("--profile="));
+    } else if (arg == "--die-once") {
+      // Fault injection for the resume tests: K:N makes worker K (first
+      // launch only) SIGKILL itself after N executed trials.
+      const std::string kv = value();
+      const auto colon = kv.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: --die-once expects WORKER:TRIALS\n");
+        return 2;
+      }
+      options.die_worker = static_cast<std::uint32_t>(
+          parse_count(arg, kv.substr(0, colon)));
+      options.die_after =
+          static_cast<int>(parse_count(arg, kv.substr(colon + 1)));
+    } else if (arg == "--progress") {
+      progress_state = 1;
+    } else if (arg == "--no-progress") {
+      progress_state = 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown shard flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.store_dir.empty()) {
+    std::fprintf(stderr, "error: rise_cli shard requires --store DIR\n");
+    return 2;
+  }
+  if (options.workers < 1) {
+    std::fprintf(stderr, "error: --workers must be >= 1\n");
+    return 2;
+  }
+  plan.base = spec;
+  plan.num_seeds = seeds;
+  plan.profile = profile;
+  plan.prepare_mode = share_config ? runner::PrepareMode::kSharedConfig
+                                   : runner::PrepareMode::kPerTrial;
+  for (const auto& axis : grid_args) {
+    plan.grid.push_back(runner::parse_grid_axis(axis));
+  }
+  options.exe = self_exe(argv[0]);
+  options.progress =
+      progress_state == -1 ? isatty(fileno(stderr)) != 0 : progress_state == 1;
+  options.profile = profile;
+  if (profile) {
+    options.profile_path = profile_path.empty() ? "profile.json" : profile_path;
+    if (!ensure_writable(options.profile_path)) return 2;
+  }
+  if (!options.json_path.empty() && !ensure_writable(options.json_path)) {
+    return 2;
+  }
+
+  const runner::ShardCampaignReport report =
+      runner::run_shard_campaign(plan, options);
+  if (!report.ok) {
+    std::fprintf(stderr, "error: %s\n", report.error.c_str());
+    return 2;
+  }
+  std::fputs(runner::format_campaign(report.merged).c_str(), stdout);
+  std::printf("shard     : %u worker(s), %llu restart(s)\n", options.workers,
+              static_cast<unsigned long long>(report.restarts));
+  std::printf("store     : %s (%llu hits, %llu misses)\n",
+              options.store_dir.c_str(),
+              static_cast<unsigned long long>(report.store_hits),
+              static_cast<unsigned long long>(report.store_misses));
+  if (profile) {
+    std::fputs(obs::format_aggregate(report.merged.profile).c_str(), stdout);
+    std::printf("profile   : %s (merged over %zu trials)\n",
+                options.profile_path.c_str(), report.merged.profile.trials);
+  }
+  if (!options.json_path.empty()) {
+    std::printf("json      : %s (%zu trial records, merged)\n",
+                options.json_path.c_str(), report.merged.trials.size());
+  }
+  return report.merged.total.failures == 0 && report.merged.total.errors == 0
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,17 +431,30 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (argc > 1 && std::strcmp(argv[1], "shard") == 0) {
+    try {
+      return run_shard_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   app::ExperimentSpec spec;
   std::string dot_graph;
   std::string json_path;
   std::string profile_path;
+  std::string store_dir;
   std::vector<std::string> grid_args;
+  runner::ShardSpec shard;
+  runner::ShardStrategy shard_strategy = runner::ShardStrategy::kRoundRobin;
   bool list = false;
-  bool progress = false;
+  int progress_state = -1;  // -1 auto (tty), 0 off, 1 on
   bool campaign_mode = false;
   bool profile = false;
+  bool embed_profiles = false;
   bool share_config = false;
   bool reuse = true;
+  int die_after = 0;
   std::size_t seeds = 1;
   std::size_t jobs = 1;
   // "run" is an optional subcommand alias for the default mode, symmetric
@@ -290,13 +495,41 @@ int main(int argc, char** argv) {
       campaign_mode = true;
     } else if (arg == "--no-reuse") {
       reuse = false;
+    } else if (arg == "--store") {
+      store_dir = value();
+      campaign_mode = true;
+    } else if (arg == "--shard") {
+      try {
+        shard = runner::parse_shard_spec(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      campaign_mode = true;
+    } else if (arg == "--shard-strategy") {
+      const std::string s = value();
+      if (s == "block") {
+        shard_strategy = runner::ShardStrategy::kBlock;
+      } else if (s == "roundrobin") {
+        shard_strategy = runner::ShardStrategy::kRoundRobin;
+      } else {
+        std::fprintf(stderr,
+                     "error: --shard-strategy expects roundrobin|block\n");
+        return 2;
+      }
+    } else if (arg == "--die-after") {
+      die_after = static_cast<int>(parse_count(arg, value()));
+    } else if (arg == "--embed-profiles") {
+      embed_profiles = true;
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg.rfind("--profile=", 0) == 0) {
       profile = true;
       profile_path = arg.substr(std::strlen("--profile="));
     } else if (arg == "--progress") {
-      progress = true;
+      progress_state = 1;
+    } else if (arg == "--no-progress") {
+      progress_state = 0;
     } else if (arg == "--dot") {
       dot_graph = value();
     } else if (arg == "--list") {
@@ -327,6 +560,9 @@ int main(int argc, char** argv) {
     }
     const std::string profile_out =
         profile_path.empty() ? "profile.json" : profile_path;
+    // Fail fast: a doomed output path must kill the run before any trial
+    // executes, not after the campaign finishes.
+    if (profile && !ensure_writable(profile_out)) return 2;
     if (campaign_mode) {
       runner::CampaignPlan plan;
       plan.base = spec;
@@ -340,7 +576,24 @@ int main(int argc, char** argv) {
       }
       runner::CampaignOptions options;
       options.jobs = jobs == 0 ? runner::ThreadPool::hardware_threads() : jobs;
-      options.progress = progress || isatty(fileno(stderr)) != 0;
+      options.progress = progress_state == -1
+                             ? isatty(fileno(stderr)) != 0
+                             : progress_state == 1;
+      options.shard = shard;
+      options.shard_strategy = shard_strategy;
+      options.die_after = die_after;
+
+      // The store ctor throws a CheckError naming the path when DIR cannot
+      // be created or written — caught below, nonzero exit.
+      std::unique_ptr<rise::store::ResultStore> store;
+      if (!store_dir.empty()) {
+        const std::string writer_tag =
+            shard.whole_campaign() ? "solo"
+                                   : "shard-" + std::to_string(shard.index);
+        store = std::make_unique<rise::store::ResultStore>(store_dir,
+                                                           writer_tag);
+        options.store = store.get();
+      }
 
       std::ofstream json_out;
       std::unique_ptr<runner::JsonResultSink> sink;
@@ -351,13 +604,23 @@ int main(int argc, char** argv) {
                        json_path.c_str());
           return 2;
         }
-        sink = std::make_unique<runner::JsonResultSink>(json_out, plan,
-                                                        options.jobs);
+        runner::SinkOptions sink_options;
+        sink_options.provenance = runner::collect_provenance(shard);
+        sink_options.embed_profiles = embed_profiles;
+        sink_options.store_enabled = store != nullptr;
+        sink = std::make_unique<runner::JsonResultSink>(
+            json_out, plan, options.jobs, sink_options);
       }
       options.sink = sink.get();
 
       const auto result = runner::run_campaign(plan, options);
       std::fputs(runner::format_campaign(result).c_str(), stdout);
+      if (store != nullptr) {
+        std::printf("store     : %s (%llu hits, %llu misses)\n",
+                    store_dir.c_str(),
+                    static_cast<unsigned long long>(result.store_hits),
+                    static_cast<unsigned long long>(result.store_misses));
+      }
       if (profile) {
         std::fputs(obs::format_aggregate(result.profile).c_str(), stdout);
         std::ofstream out(profile_out);
