@@ -12,6 +12,7 @@
 #include "graph/spanner.hpp"
 #include "obs/probe.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/kernel.hpp"
 #include "sim/sync_engine.hpp"
 
 namespace {
@@ -44,6 +45,71 @@ void BM_AsyncFloodingEvents(benchmark::State& state) {
 // n = 10^4 is the acceptance-gate size for the engine refactor; see
 // EXPERIMENTS.md "Engine micro-benchmarks" and BENCH_engine_micro.json.
 BENCHMARK(BM_AsyncFloodingEvents)->Arg(1000)->Arg(4000)->Arg(10000);
+
+/// Same workload on the flat-kernel path with a warm workspace — the
+/// steady-state campaign trial. The n = 10^4 ratio against
+/// BM_AsyncFloodingEvents/10000 is the kernel-layer acceptance gate (>= 2x,
+/// BENCH_engine_micro.json); past the warm-up trial the loop body performs
+/// zero heap allocations (bench_million_node gates that at n = 10^6).
+void BM_KernelFloodingEvents(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT0);
+  const auto delays = sim::unit_delay();
+  const auto schedule = sim::wake_single(0);
+  const sim::KernelRunner kernel = algo::flooding_kernel();
+  sim::RunWorkspace workspace;
+  sim::AsyncKernelArgs args;
+  args.instance = &inst;
+  args.delays = delays.get();
+  args.schedule = &schedule;
+  args.seed = 1;
+  args.workspace = &workspace;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto result = kernel.run_async(args);
+    events += result.metrics.events;
+    benchmark::DoNotOptimize(result.metrics.messages);
+    workspace.recycle_result(std::move(result));
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelFloodingEvents)->Arg(10000);
+
+/// The tentpole size: flooding on G(10^6, 8/n), wake-all, kernel path.
+/// connected_gnp is hopeless at this n (hundreds of expected isolated
+/// nodes), so the graph is plain gnp and the schedule wakes everyone —
+/// every node and edge is exercised regardless of connectivity.
+void BM_MillionNodeKernelFlooding(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(1);
+  const auto g = graph::gnp(n, 8.0 / static_cast<double>(n), rng);
+  const auto inst = make_inst(g, sim::Knowledge::KT0);
+  const auto delays = sim::unit_delay();
+  const auto schedule = sim::wake_all(n);
+  const sim::KernelRunner kernel = algo::flooding_kernel();
+  sim::RunWorkspace workspace;
+  sim::AsyncKernelArgs args;
+  args.instance = &inst;
+  args.delays = delays.get();
+  args.schedule = &schedule;
+  args.seed = 7;
+  args.workspace = &workspace;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto result = kernel.run_async(args);
+    events += result.metrics.events;
+    benchmark::DoNotOptimize(result.metrics.messages);
+    workspace.recycle_result(std::move(result));
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MillionNodeKernelFlooding)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 /// Same flooding workload under adversarial random delays in [1, tau], run
 /// once per timeline backend so a regression in either the calendar queue or

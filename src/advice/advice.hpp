@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/instance.hpp"
+#include "sim/kernel.hpp"
 #include "sim/process.hpp"
 
 namespace rise::advice {
@@ -28,10 +29,13 @@ class AdvisingOracle {
 sim::Instance::AdviceStats apply_oracle(sim::Instance& instance,
                                         const AdvisingOracle& oracle);
 
-/// An oracle + algorithm pair.
+/// An oracle + algorithm pair. `kernel` is the algorithm's flat-SoA fast
+/// path (sim/kernel.hpp), bit-identical to `algorithm`; every shipped scheme
+/// provides one.
 struct AdvisingScheme {
   std::unique_ptr<AdvisingOracle> oracle;
   sim::ProcessFactory algorithm;
+  sim::KernelRunner kernel;
 };
 
 }  // namespace rise::advice

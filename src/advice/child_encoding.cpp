@@ -155,6 +155,104 @@ class ChildEncodingProcess final : public sim::Process {
   bool started_ = false;
 };
 
+/// Kernel port of ChildEncodingProcess: decoded advice + two flags per node.
+class ChildEncodingKernel {
+ public:
+  struct State {
+    CenAdvice advice;
+    bool parent_notified = false;
+    bool started = false;
+  };
+  using States = std::vector<State>;
+
+  void reset(const sim::Instance& instance, sim::RunWorkspace* workspace) {
+    states_ = &sim::acquire_kernel_state(workspace, own_);
+    states_->clear();
+    states_->resize(instance.num_nodes());
+  }
+
+  template <class Ctx>
+  void on_wake(Ctx& ctx, sim::WakeCause cause) {
+    State& self = (*states_)[ctx.node()];
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("advice.forward");
+    probe.count("advice.decodes");
+    self.advice = decode_cen_advice(ctx.advice());
+    if (cause == sim::WakeCause::kAdversary) {
+      notify_parent(ctx, self);
+      start_children(ctx, self);
+    }
+  }
+
+  template <class Ctx>
+  void on_message(Ctx& ctx, const sim::Incoming& in) {
+    State& self = (*states_)[ctx.node()];
+    switch (in.msg.type) {
+      case kCenWakeChild: {
+        // Our parent is clearly awake; answer with our next-sibling pair so
+        // the parent can continue the binary dissemination.
+        self.parent_notified = true;
+        sim::PayloadWords payload;
+        payload.push_back((self.advice.has_next_a ? 1u : 0u) |
+                          (self.advice.has_next_b ? 2u : 0u));
+        payload.push_back(self.advice.has_next_a ? self.advice.next_a : 0);
+        payload.push_back(self.advice.has_next_b ? self.advice.next_b : 0);
+        ctx.send(in.port, sim::make_message(kCenNext, std::move(payload),
+                                            8 + 2 * ctx.label_bits()));
+        start_children(ctx, self);
+        break;
+      }
+      case kCenNext: {
+        const std::uint64_t flags = in.msg.payload[0];
+        const sim::Message wake = sim::make_message(kCenWakeChild, {}, 8);
+        if (flags & 1u) {
+          ctx.send(static_cast<sim::Port>(in.msg.payload[1]), wake);
+        }
+        if (flags & 2u) {
+          ctx.send(static_cast<sim::Port>(in.msg.payload[2]), wake);
+        }
+        break;
+      }
+      case kCenWakeParent: {
+        // A child woke independently; wake our own parent and the rest of
+        // the family.
+        notify_parent(ctx, self);
+        start_children(ctx, self);
+        break;
+      }
+      default:
+        RISE_CHECK_MSG(false, "CEN: unexpected message type " << in.msg.type);
+    }
+  }
+
+  template <class Ctx>
+  void on_round(Ctx& ctx, std::span<const sim::Incoming> inbox) {
+    for (const sim::Incoming& in : inbox) on_message(ctx, in);
+  }
+
+ private:
+  template <class Ctx>
+  void notify_parent(Ctx& ctx, State& self) {
+    if (self.parent_notified || !self.advice.has_parent) return;
+    self.parent_notified = true;
+    ctx.send(self.advice.parent, sim::make_message(kCenWakeParent, {}, 8));
+  }
+
+  template <class Ctx>
+  void start_children(Ctx& ctx, State& self) {
+    if (self.started || !self.advice.has_first_child) {
+      self.started = true;
+      return;
+    }
+    self.started = true;
+    ctx.send(self.advice.first_child,
+             sim::make_message(kCenWakeChild, {}, 8));
+  }
+
+  States own_;
+  States* states_ = nullptr;
+};
+
 }  // namespace
 
 CenAdvice decode_cen_advice(const BitString& bits) {
@@ -181,8 +279,13 @@ sim::ProcessFactory child_encoding_factory() {
   return [](sim::NodeId) { return std::make_unique<ChildEncodingProcess>(); };
 }
 
+sim::KernelRunner child_encoding_kernel() {
+  return sim::make_kernel(ChildEncodingKernel{});
+}
+
 AdvisingScheme child_encoding_scheme(graph::NodeId root) {
-  return {child_encoding_oracle(root), child_encoding_factory()};
+  return {child_encoding_oracle(root), child_encoding_factory(),
+          child_encoding_kernel()};
 }
 
 }  // namespace rise::advice

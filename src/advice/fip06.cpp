@@ -111,6 +111,59 @@ class Fip06Process final : public sim::Process {
   bool done_ = false;
 };
 
+/// Kernel port of Fip06Process: one done-flag per node.
+class Fip06Kernel {
+ public:
+  struct State {
+    bool done = false;
+  };
+  using States = std::vector<State>;
+
+  void reset(const sim::Instance& instance, sim::RunWorkspace* workspace) {
+    states_ = &sim::acquire_kernel_state(workspace, own_);
+    states_->clear();
+    states_->resize(instance.num_nodes());
+  }
+
+  template <class Ctx>
+  void on_wake(Ctx& ctx, sim::WakeCause cause) {
+    if (cause == sim::WakeCause::kAdversary) {
+      propagate(ctx, sim::kInvalidPort);
+    }
+    // Message-woken nodes propagate from on_message, where the arrival port
+    // is known.
+  }
+
+  template <class Ctx>
+  void on_message(Ctx& ctx, const sim::Incoming& in) {
+    propagate(ctx, in.port);
+  }
+
+  template <class Ctx>
+  void on_round(Ctx& ctx, std::span<const sim::Incoming> inbox) {
+    for (const sim::Incoming& in : inbox) on_message(ctx, in);
+  }
+
+ private:
+  template <class Ctx>
+  void propagate(Ctx& ctx, sim::Port skip) {
+    State& self = (*states_)[ctx.node()];
+    if (self.done) return;
+    self.done = true;
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("advice.forward");
+    probe.count("advice.decodes");
+    BitReader r(ctx.advice());
+    for (sim::Port p : decode_port_set(r, ctx.degree())) {
+      if (p == skip) continue;
+      ctx.send(p, sim::make_message(kTreeWake, {}, 8));
+    }
+  }
+
+  States own_;
+  States* states_ = nullptr;
+};
+
 }  // namespace
 
 std::unique_ptr<AdvisingOracle> fip06_oracle(graph::NodeId root) {
@@ -121,8 +174,10 @@ sim::ProcessFactory fip06_factory() {
   return [](sim::NodeId) { return std::make_unique<Fip06Process>(); };
 }
 
+sim::KernelRunner fip06_kernel() { return sim::make_kernel(Fip06Kernel{}); }
+
 AdvisingScheme fip06_scheme(graph::NodeId root) {
-  return {fip06_oracle(root), fip06_factory()};
+  return {fip06_oracle(root), fip06_factory(), fip06_kernel()};
 }
 
 }  // namespace rise::advice

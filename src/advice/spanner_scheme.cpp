@@ -173,6 +173,86 @@ class SpannerProcess final : public sim::Process {
   bool started_ = false;
 };
 
+/// Kernel port of SpannerProcess: decoded advice + start flag per node.
+class SpannerKernel {
+ public:
+  struct State {
+    NodeAdvice advice;
+    bool started = false;
+  };
+  using States = std::vector<State>;
+
+  void reset(const sim::Instance& instance, sim::RunWorkspace* workspace) {
+    states_ = &sim::acquire_kernel_state(workspace, own_);
+    states_->clear();
+    states_->resize(instance.num_nodes());
+  }
+
+  template <class Ctx>
+  void on_wake(Ctx& ctx, sim::WakeCause cause) {
+    State& self = (*states_)[ctx.node()];
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("advice.forward");
+    probe.count("advice.decodes");
+    self.advice = decode_node_advice(ctx.advice());
+    if (cause == sim::WakeCause::kAdversary) start(ctx, self);
+  }
+
+  template <class Ctx>
+  void on_message(Ctx& ctx, const sim::Incoming& in) {
+    State& self = (*states_)[ctx.node()];
+    switch (in.msg.type) {
+      case kSpWake: {
+        // Reply with our next-sibling pair in the sender's heap so its
+        // dissemination continues, then wake our own spanner neighborhood.
+        const auto it = self.advice.records.find(in.port);
+        RISE_CHECK_MSG(it != self.advice.records.end(),
+                       "spanner wake arrived over a non-spanner edge");
+        const NextPair& next = it->second;
+        sim::PayloadWords payload{
+            (next.has_a ? 1u : 0u) | (next.has_b ? 2u : 0u),
+            next.has_a ? next.a : 0, next.has_b ? next.b : 0};
+        ctx.send(in.port, sim::make_message(kSpNext, std::move(payload),
+                                            8 + 2 * ctx.label_bits()));
+        start(ctx, self);
+        break;
+      }
+      case kSpNext: {
+        const std::uint64_t flags = in.msg.payload[0];
+        const sim::Message wake = sim::make_message(kSpWake, {}, 8);
+        if (flags & 1u) {
+          ctx.send(static_cast<sim::Port>(in.msg.payload[1]), wake);
+        }
+        if (flags & 2u) {
+          ctx.send(static_cast<sim::Port>(in.msg.payload[2]), wake);
+        }
+        break;
+      }
+      default:
+        RISE_CHECK_MSG(false,
+                       "spanner scheme: unexpected message " << in.msg.type);
+    }
+  }
+
+  template <class Ctx>
+  void on_round(Ctx& ctx, std::span<const sim::Incoming> inbox) {
+    for (const sim::Incoming& in : inbox) on_message(ctx, in);
+  }
+
+ private:
+  template <class Ctx>
+  void start(Ctx& ctx, State& self) {
+    if (self.started) return;
+    self.started = true;
+    if (self.advice.has_first) {
+      ctx.send(self.advice.first, sim::make_message(kSpWake, {}, 8));
+    }
+  }
+
+  States own_;
+  States* states_ = nullptr;
+};
+
 }  // namespace
 
 std::unique_ptr<AdvisingOracle> spanner_oracle(unsigned k) {
@@ -184,12 +264,17 @@ sim::ProcessFactory spanner_factory() {
   return [](sim::NodeId) { return std::make_unique<SpannerProcess>(); };
 }
 
+sim::KernelRunner spanner_kernel() {
+  return sim::make_kernel(SpannerKernel{});
+}
+
 AdvisingScheme spanner_scheme(unsigned k) {
-  return {spanner_oracle(k), spanner_factory()};
+  return {spanner_oracle(k), spanner_factory(), spanner_kernel()};
 }
 
 AdvisingScheme corollary2_scheme() {
-  return {std::make_unique<SpannerOracle>(0), spanner_factory()};
+  return {std::make_unique<SpannerOracle>(0), spanner_factory(),
+          spanner_kernel()};
 }
 
 }  // namespace rise::advice

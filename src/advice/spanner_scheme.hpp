@@ -32,6 +32,8 @@ std::unique_ptr<AdvisingOracle> spanner_oracle(unsigned k);
 
 sim::ProcessFactory spanner_factory();
 
+sim::KernelRunner spanner_kernel();
+
 AdvisingScheme spanner_scheme(unsigned k);
 
 /// Corollary 2: k = ceil(log2 n), chosen by the oracle from the instance.

@@ -83,6 +83,66 @@ class SqrtThresholdProcess final : public sim::Process {
   bool done_ = false;
 };
 
+/// Kernel port of SqrtThresholdProcess: one done-flag per node.
+class SqrtThresholdKernel {
+ public:
+  struct State {
+    bool done = false;
+  };
+  using States = std::vector<State>;
+
+  void reset(const sim::Instance& instance, sim::RunWorkspace* workspace) {
+    states_ = &sim::acquire_kernel_state(workspace, own_);
+    states_->clear();
+    states_->resize(instance.num_nodes());
+  }
+
+  template <class Ctx>
+  void on_wake(Ctx& ctx, sim::WakeCause cause) {
+    if (cause == sim::WakeCause::kAdversary) propagate(ctx, sim::kInvalidPort);
+  }
+
+  template <class Ctx>
+  void on_message(Ctx& ctx, const sim::Incoming& in) {
+    propagate(ctx, in.port);
+  }
+
+  template <class Ctx>
+  void on_round(Ctx& ctx, std::span<const sim::Incoming> inbox) {
+    for (const sim::Incoming& in : inbox) on_message(ctx, in);
+  }
+
+ private:
+  template <class Ctx>
+  void propagate(Ctx& ctx, sim::Port skip) {
+    State& self = (*states_)[ctx.node()];
+    if (self.done) return;
+    self.done = true;
+    obs::NodeProbe probe = ctx.probe();
+    probe.count("advice.decodes");
+    BitReader r(ctx.advice());
+    const sim::Message wake = sim::make_message(kTreeWake, {}, 8);
+    if (r.read_bit()) {
+      probe.phase("advice.broadcast");
+      probe.node_class("high_degree");
+      for (sim::Port p = 0; p < ctx.degree(); ++p) {
+        if (p != skip) ctx.send(p, wake);
+      }
+      return;
+    }
+    probe.phase("advice.forward");
+    const unsigned width = std::max(1u, bit_width_for(ctx.degree()));
+    const std::uint64_t count = r.read_gamma();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto p = static_cast<sim::Port>(r.read_bits(width));
+      if (p != skip) ctx.send(p, wake);
+    }
+  }
+
+  States own_;
+  States* states_ = nullptr;
+};
+
 }  // namespace
 
 std::unique_ptr<AdvisingOracle> sqrt_threshold_oracle(graph::NodeId root,
@@ -94,8 +154,13 @@ sim::ProcessFactory sqrt_threshold_factory() {
   return [](sim::NodeId) { return std::make_unique<SqrtThresholdProcess>(); };
 }
 
+sim::KernelRunner sqrt_threshold_kernel() {
+  return sim::make_kernel(SqrtThresholdKernel{});
+}
+
 AdvisingScheme sqrt_threshold_scheme(graph::NodeId root) {
-  return {sqrt_threshold_oracle(root), sqrt_threshold_factory()};
+  return {sqrt_threshold_oracle(root), sqrt_threshold_factory(),
+          sqrt_threshold_kernel()};
 }
 
 }  // namespace rise::advice

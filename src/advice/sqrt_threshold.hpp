@@ -24,6 +24,7 @@ namespace rise::advice {
 std::unique_ptr<AdvisingOracle> sqrt_threshold_oracle(graph::NodeId root = 0,
                                                       double threshold = 0.0);
 sim::ProcessFactory sqrt_threshold_factory();
+sim::KernelRunner sqrt_threshold_kernel();
 AdvisingScheme sqrt_threshold_scheme(graph::NodeId root = 0);
 
 }  // namespace rise::advice

@@ -21,6 +21,7 @@
 // Runs under the synchronous engine only.
 #pragma once
 
+#include "sim/kernel.hpp"
 #include "sim/process.hpp"
 
 namespace rise::algo {
@@ -48,5 +49,9 @@ struct FastWakeupProbe {
 /// the default -1 uses sqrt(log n / n) with n taken from the ID-range bound.
 sim::ProcessFactory fast_wakeup_factory(FastWakeupProbe* probe = nullptr,
                                         double root_probability = -1.0);
+
+/// Flat-kernel counterpart, bit-identical to the factory (sync engine only).
+sim::KernelRunner fast_wakeup_kernel(FastWakeupProbe* probe = nullptr,
+                                     double root_probability = -1.0);
 
 }  // namespace rise::algo

@@ -20,10 +20,37 @@ class Flooding final : public sim::Process {
   }
 };
 
+/// Kernel port of Flooding. The algorithm is stateless, so the kernel is
+/// too; the hook bodies are the Process bodies verbatim.
+struct FloodingKernel {
+  void reset(const sim::Instance&, sim::RunWorkspace*) {}
+
+  template <class Ctx>
+  void on_wake(Ctx& ctx, sim::WakeCause) {
+    obs::NodeProbe probe = ctx.probe();
+    probe.phase("flood");
+    probe.count("flood.broadcasts");
+    // A single O(1)-bit wake-up signal on every port.
+    ctx.broadcast(sim::make_message(kFloodWake, {}, 8));
+  }
+
+  template <class Ctx>
+  void on_message(Ctx&, const sim::Incoming&) {}
+
+  template <class Ctx>
+  void on_round(Ctx& ctx, std::span<const sim::Incoming> inbox) {
+    for (const sim::Incoming& in : inbox) on_message(ctx, in);
+  }
+};
+
 }  // namespace
 
 sim::ProcessFactory flooding_factory() {
   return [](sim::NodeId) { return std::make_unique<Flooding>(); };
+}
+
+sim::KernelRunner flooding_kernel() {
+  return sim::make_kernel(FloodingKernel{});
 }
 
 }  // namespace rise::algo

@@ -8,6 +8,7 @@
 // under KT0 and KT1, asynchronous and synchronous, LOCAL and CONGEST.
 #pragma once
 
+#include "sim/kernel.hpp"
 #include "sim/process.hpp"
 
 namespace rise::algo {
@@ -16,5 +17,9 @@ namespace rise::algo {
 inline constexpr std::uint32_t kFloodWake = 0x0F10;
 
 sim::ProcessFactory flooding_factory();
+
+/// Flat-kernel flooding: bit-identical to the factory (test_sim_kernels),
+/// allocation-free in steady state — the million-node fast path.
+sim::KernelRunner flooding_kernel();
 
 }  // namespace rise::algo

@@ -20,6 +20,7 @@
 // O(n log n) w.h.p. against any oblivious adversary.
 #pragma once
 
+#include "sim/kernel.hpp"
 #include "sim/process.hpp"
 
 namespace rise::algo {
@@ -56,5 +57,14 @@ sim::ProcessFactory ranked_dfs_leader_factory(RankedDfsProbe* probe = nullptr,
 /// bench_ablations quantifies how much the random ranks buy.
 sim::ProcessFactory ranked_dfs_no_discard_factory(
     RankedDfsProbe* probe = nullptr, unsigned rank_bits = 48);
+
+/// Flat-kernel counterparts of the three factories above — bit-identical
+/// runs (test_sim_kernels) with per-node state in one contiguous vector.
+sim::KernelRunner ranked_dfs_kernel(RankedDfsProbe* probe = nullptr,
+                                    unsigned rank_bits = 48);
+sim::KernelRunner ranked_dfs_leader_kernel(RankedDfsProbe* probe = nullptr,
+                                           unsigned rank_bits = 48);
+sim::KernelRunner ranked_dfs_no_discard_kernel(RankedDfsProbe* probe = nullptr,
+                                               unsigned rank_bits = 48);
 
 }  // namespace rise::algo

@@ -12,6 +12,7 @@
 #include "algo/gossip.hpp"
 #include "algo/ranked_dfs.hpp"
 #include "algo/ranked_dfs_congest.hpp"
+#include "graph/cache.hpp"
 #include "graph/generators.hpp"
 #include "graph/high_girth.hpp"
 #include "lb/beta_probing.hpp"
@@ -19,6 +20,7 @@
 #include "lb/time_restricted.hpp"
 #include "runner/campaign.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/kernel.hpp"
 #include "sim/sync_engine.hpp"
 #include "support/check.hpp"
 
@@ -69,6 +71,28 @@ void expect_fields(const std::vector<std::string>& f, std::size_t count,
 }  // namespace
 
 graph::Graph parse_graph_spec(const std::string& spec, Rng& rng) {
+  // cache:PATH:INNERSPEC — binary mmap graph cache (graph/cache.hpp). If
+  // PATH exists it is mapped and validated against INNERSPEC (version,
+  // endianness and stored-spec mismatches fail fast); otherwise INNERSPEC is
+  // built with this call's rng and the result written to PATH. The file pins
+  // one concrete topology: the generator seed is *not* part of the key, so a
+  // cached random graph is the one built by whichever run created the file.
+  // Delete the file to resample. PATH may not contain ':'.
+  if (spec.rfind("cache:", 0) == 0) {
+    const std::string rest = spec.substr(6);
+    const auto sep = rest.find(':');
+    RISE_CHECK_MSG(sep != std::string::npos && sep > 0 && sep + 1 < rest.size(),
+                   "cache spec needs cache:PATH:INNERSPEC, got '" << spec
+                                                                  << "'");
+    const std::string path = rest.substr(0, sep);
+    const std::string inner = rest.substr(sep + 1);
+    if (graph::cache_file_exists(path)) {
+      return graph::load_cache(path, inner);
+    }
+    graph::Graph g = parse_graph_spec(inner, rng);
+    graph::write_cache(path, g, inner);
+    return g;
+  }
   const auto f = split(spec, ':');
   RISE_CHECK_MSG(!f.empty(), "empty graph spec");
   const std::string& kind = f[0];
@@ -242,6 +266,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.knowledge = sim::Knowledge::KT0;
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.factory = algo::flooding_factory();
+    setup.kernel = algo::flooding_kernel();
     return setup;
   }
   if (kind == "ranked_dfs" || kind == "ranked_dfs_nodiscard") {
@@ -251,6 +276,8 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.factory = kind == "ranked_dfs"
                         ? algo::ranked_dfs_factory()
                         : algo::ranked_dfs_no_discard_factory();
+    setup.kernel = kind == "ranked_dfs" ? algo::ranked_dfs_kernel()
+                                        : algo::ranked_dfs_no_discard_kernel();
     return setup;
   }
   if (kind == "ranked_dfs_congest") {
@@ -258,6 +285,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.knowledge = sim::Knowledge::KT1;
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.factory = algo::ranked_dfs_congest_factory();
+    setup.kernel = algo::ranked_dfs_congest_kernel();
     return setup;
   }
   if (kind == "leader") {
@@ -265,6 +293,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.knowledge = sim::Knowledge::KT1;
     setup.bandwidth = sim::Bandwidth::LOCAL;
     setup.factory = algo::ranked_dfs_leader_factory();
+    setup.kernel = algo::ranked_dfs_leader_kernel();
     return setup;
   }
   if (kind == "fast_wakeup") {
@@ -273,6 +302,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.bandwidth = sim::Bandwidth::LOCAL;
     setup.synchronous = true;
     setup.factory = algo::fast_wakeup_factory();
+    setup.kernel = algo::fast_wakeup_kernel();
     return setup;
   }
   if (kind == "gossip") {
@@ -280,7 +310,9 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.knowledge = sim::Knowledge::KT0;
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.synchronous = true;
-    setup.factory = algo::push_gossip_factory(to_u64(f[1], "round budget"));
+    const std::uint64_t budget = to_u64(f[1], "round budget");
+    setup.factory = algo::push_gossip_factory(budget);
+    setup.kernel = algo::push_gossip_kernel(budget);
     return setup;
   }
   if (kind == "ttl") {
@@ -297,6 +329,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.oracle = advice::fip06_oracle();
     setup.factory = advice::fip06_factory();
+    setup.kernel = advice::fip06_kernel();
     return setup;
   }
   if (kind == "sqrt") {
@@ -305,6 +338,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.oracle = advice::sqrt_threshold_oracle();
     setup.factory = advice::sqrt_threshold_factory();
+    setup.kernel = advice::sqrt_threshold_kernel();
     return setup;
   }
   if (kind == "cen" || kind == "cen_chain") {
@@ -313,6 +347,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.oracle = advice::child_encoding_oracle(0, kind == "cen" ? 2 : 1);
     setup.factory = advice::child_encoding_factory();
+    setup.kernel = advice::child_encoding_kernel();
     return setup;
   }
   if (kind == "spanner") {
@@ -322,6 +357,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.oracle =
         advice::spanner_oracle(static_cast<unsigned>(to_u64(f[1], "k")));
     setup.factory = advice::spanner_factory();
+    setup.kernel = advice::spanner_kernel();
     return setup;
   }
   if (kind == "cor2") {
@@ -331,6 +367,7 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.bandwidth = sim::Bandwidth::CONGEST;
     setup.oracle = std::move(scheme.oracle);
     setup.factory = std::move(scheme.algorithm);
+    setup.kernel = std::move(scheme.kernel);
     return setup;
   }
   if (kind == "beta") {
@@ -378,6 +415,7 @@ PreparedExperiment prepare_experiment(const ExperimentSpec& spec,
   prep.algorithm = algorithm.name;
   prep.synchronous = algorithm.synchronous;
   prep.factory = std::move(algorithm.factory);
+  prep.kernel = std::move(algorithm.kernel);
 
   sim::InstanceOptions options;
   options.knowledge = algorithm.knowledge;
@@ -429,6 +467,11 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
     report.rho_awk = sim::schedule_awake_distance(g, schedule);
   }
 
+  // The flat-kernel path is the default whenever the family ships one; it
+  // is bit-identical to the Process path (test_sim_kernels), so choosing it
+  // here never changes a result — only the per-trial allocation profile.
+  const bool use_kernel = static_cast<bool>(prepared.kernel) &&
+                          !instruments.use_virtual_processes;
   const bool synchronous =
       prepared.synchronous || instruments.force_sync_engine;
   if (synchronous) {
@@ -436,13 +479,26 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
     if (instruments.on_setup) {
       instruments.on_setup(instance, schedule, nullptr, true);
     }
-    sim::SyncEngine engine(instance, schedule, spec.seed);
-    engine.set_trace(instruments.trace);
-    engine.set_probe(probe);
-    engine.set_workspace(workspace);
-    obs::PhaseTimer timer(probe, "engine.run");
-    report.result = engine.run(prepared.factory);
-    timer.set_sim_span(report.result.metrics.rounds);
+    if (use_kernel) {
+      sim::SyncKernelArgs args;
+      args.instance = &instance;
+      args.schedule = &schedule;
+      args.seed = spec.seed;
+      args.trace = instruments.trace;
+      args.probe = probe;
+      args.workspace = workspace;
+      obs::PhaseTimer timer(probe, "engine.run");
+      report.result = prepared.kernel.run_sync(args);
+      timer.set_sim_span(report.result.metrics.rounds);
+    } else {
+      sim::SyncEngine engine(instance, schedule, spec.seed);
+      engine.set_trace(instruments.trace);
+      engine.set_probe(probe);
+      engine.set_workspace(workspace);
+      obs::PhaseTimer timer(probe, "engine.run");
+      report.result = engine.run(prepared.factory);
+      timer.set_sim_span(report.result.metrics.rounds);
+    }
   } else {
     std::unique_ptr<sim::DelayPolicy> parsed;
     const sim::DelayPolicy* delays = instruments.delay_override;
@@ -453,15 +509,31 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
     if (instruments.on_setup) {
       instruments.on_setup(instance, schedule, delays, false);
     }
-    sim::AsyncEngine engine(instance, *delays, schedule, spec.seed);
-    engine.set_trace(instruments.trace);
-    engine.set_probe(probe);
-    engine.set_event_queue_mode(instruments.queue_mode);
-    engine.set_workspace(workspace);
-    obs::PhaseTimer timer(probe, "engine.run");
-    report.result = engine.run(prepared.factory);
-    timer.set_sim_span(std::max(report.result.metrics.last_delivery,
-                                report.result.metrics.last_wake));
+    if (use_kernel) {
+      sim::AsyncKernelArgs args;
+      args.instance = &instance;
+      args.delays = delays;
+      args.schedule = &schedule;
+      args.seed = spec.seed;
+      args.trace = instruments.trace;
+      args.probe = probe;
+      args.queue_mode = instruments.queue_mode;
+      args.workspace = workspace;
+      obs::PhaseTimer timer(probe, "engine.run");
+      report.result = prepared.kernel.run_async(args);
+      timer.set_sim_span(std::max(report.result.metrics.last_delivery,
+                                  report.result.metrics.last_wake));
+    } else {
+      sim::AsyncEngine engine(instance, *delays, schedule, spec.seed);
+      engine.set_trace(instruments.trace);
+      engine.set_probe(probe);
+      engine.set_event_queue_mode(instruments.queue_mode);
+      engine.set_workspace(workspace);
+      obs::PhaseTimer timer(probe, "engine.run");
+      report.result = engine.run(prepared.factory);
+      timer.set_sim_span(std::max(report.result.metrics.last_delivery,
+                                  report.result.metrics.last_wake));
+    }
   }
   return report;
 }

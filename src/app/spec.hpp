@@ -10,7 +10,8 @@
 //   graph:    path:N | cycle:N | star:N | complete:N | grid:RxC | torus:RxC |
 //             hypercube:DIM | tree:N | gnp:N:P | cgnp:N:P | regular:N:D |
 //             lollipop:CLIQUE:PATH | barbell:CLIQUE:BRIDGE | pendant:N |
-//             dkq:K:Q | kt0family:N | kt1family:K:Q
+//             dkq:K:Q | kt0family:N | kt1family:K:Q |
+//             cache:PATH:INNERSPEC  (binary mmap cache of INNERSPEC at PATH)
 //   schedule: single[:NODE] | all | set:a,b,c | random:P |
 //             staggered:GAP:GROWTH | dominating
 //   delay:    unit | fixed:TAU | random:TAU | slow:TAU:ONE_IN |
@@ -50,7 +51,9 @@ std::unique_ptr<sim::DelayPolicy> parse_delay_spec(const std::string& spec,
                                                    std::uint64_t seed);
 
 /// A fully-specified algorithm: model requirements, optional oracle, and the
-/// per-node process factory.
+/// per-node process factory. `kernel` is the family's flat-SoA fast path
+/// (sim/kernel.hpp), bit-identical to `factory`; empty for the few
+/// diagnostic algorithms (ttl, beta) that only ship a Process.
 struct AlgorithmSetup {
   std::string name;
   sim::Knowledge knowledge = sim::Knowledge::KT0;
@@ -58,6 +61,7 @@ struct AlgorithmSetup {
   bool synchronous = false;
   std::unique_ptr<advice::AdvisingOracle> oracle;  // null if none
   sim::ProcessFactory factory;
+  sim::KernelRunner kernel;
 };
 
 AlgorithmSetup parse_algorithm_spec(const std::string& spec);
@@ -114,6 +118,12 @@ struct RunInstruments {
   /// The fuzzer's unit-delay differential uses this.
   bool force_sync_engine = false;
 
+  /// Force the heap-allocated virtual Process path even when the algorithm
+  /// ships a flat kernel (sim/kernel.hpp). The two paths are bit-identical
+  /// (test_sim_kernels) — this exists for differential tests and A/B
+  /// benchmarks, not because results differ.
+  bool use_virtual_processes = false;
+
   /// Called once, after the instance / schedule / delay policy are built and
   /// before the engine runs. `delays` is null for synchronous runs.
   std::function<void(const sim::Instance& instance,
@@ -142,6 +152,10 @@ struct PreparedExperiment {
   std::string algorithm;  ///< canonical name from AlgorithmSetup
   bool synchronous = false;
   sim::ProcessFactory factory;
+  /// The family's flat-kernel fast path; execute_prepared prefers it when
+  /// non-empty (opt out per run with RunInstruments::use_virtual_processes).
+  /// Safe to share across worker threads: each run copies the kernel.
+  sim::KernelRunner kernel;
   sim::Instance::AdviceStats advice;
 };
 

@@ -1,0 +1,51 @@
+// Binary mmap-able graph cache.
+//
+// A 10^6–10^7-node generator run (G(n,p), random-regular, D(k,q)) is worth
+// building exactly once: write_cache() serializes a Graph's raw CSR arrays
+// to a flat file, and load_cache() maps that file back read-only with mmap,
+// so a cached million-node instance "builds" in milliseconds and its pages
+// are shared between concurrent processes by the OS.
+//
+// File layout (all fixed-width little-or-native-endian — the endian marker
+// in the header makes a foreign-endian file fail fast rather than decode
+// garbage):
+//
+//   offset 0   char[8]  magic "RISEGRPH"
+//          8   u32      format version (kCacheVersion)
+//         12   u32      endian marker 0x01020304 as written
+//         16   u64      n (number of nodes)
+//         24   u64      m (number of undirected edges)
+//         32   u64      spec_len (bytes of the generating spec string)
+//         40   char[]   spec, zero-padded to a multiple of 8 bytes
+//          …   u64[n+1] CSR offsets
+//          …   u32[2m]  CSR adjacency, sorted per node
+//
+// The spec string records the graph spec the cache was built from (e.g.
+// "gnp:1000000:0.000008:seed=1"). load_cache() rejects a mismatch so a stale
+// file can never silently stand in for a different topology.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rise::graph {
+
+inline constexpr std::uint32_t kCacheVersion = 1;
+
+/// Serializes `g` to `path` in the cache format, tagged with `spec`.
+/// Overwrites any existing file. Throws CheckError on I/O failure.
+void write_cache(const std::string& path, const Graph& g,
+                 const std::string& spec);
+
+/// Maps `path` read-only and returns a Graph viewing the file's CSR arrays
+/// (the mapping lives as long as any copy of the Graph). Fails fast with a
+/// CheckError on bad magic, version or endianness mismatch, truncated file,
+/// or — unless `expected_spec` is empty — a stored spec that differs from
+/// `expected_spec`.
+Graph load_cache(const std::string& path, const std::string& expected_spec = "");
+
+/// True if `path` exists (no validation; load_cache does that).
+bool cache_file_exists(const std::string& path);
+
+}  // namespace rise::graph

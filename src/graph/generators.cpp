@@ -1,9 +1,11 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
 #include <numeric>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "support/check.hpp"
@@ -14,6 +16,58 @@ namespace {
 
 Graph from(NodeId n, std::vector<Edge> edges) {
   return Graph::from_edges(n, std::move(edges));
+}
+
+std::uint64_t pair_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Visits each unordered pair {u, v}, u < v, independently with probability
+/// p, in lexicographic order. Instead of one Bernoulli draw per pair (O(n²)),
+/// draws geometric skip lengths — floor(log(1-U)/log(1-p)) pairs between
+/// consecutive hits — so the work is O(edges) draws total. The distribution
+/// over graphs is exactly G(n, p); only the rng consumption pattern differs
+/// from the old coin-flip loop (pinned by the chi-square test in
+/// test_graph_generators).
+template <class F>
+void sample_gnp_pairs(NodeId n, double p, Rng& rng, F&& f) {
+  if (n < 2 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (NodeId u = 0; u + 1 < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v) f(u, v);
+    return;
+  }
+  const double denom = std::log1p(-p);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t pos = 0;  // linear index of the current candidate pair
+  NodeId u = 0;
+  std::uint64_t v = 1;  // candidate pair is (u, v)
+  // Advances the candidate by k pairs, carrying v across row ends. Safe only
+  // while the destination index stays < total (checked by the caller).
+  const auto advance = [&](std::uint64_t k) {
+    v += k;
+    while (v >= n) {
+      const std::uint64_t overflow = v - n;
+      ++u;
+      v = static_cast<std::uint64_t>(u) + 1 + overflow;
+    }
+  };
+  while (true) {
+    const double r = rng.uniform_real();
+    const double skip_d = std::floor(std::log1p(-r) / denom);
+    // A huge skip (r close to 1) can exceed uint64 range; anything past the
+    // last pair means "no more edges" regardless.
+    if (skip_d >= static_cast<double>(total - pos)) return;
+    const std::uint64_t skip = static_cast<std::uint64_t>(skip_d);
+    if (skip >= total - pos) return;
+    advance(skip);
+    pos += skip;
+    f(u, static_cast<NodeId>(v));
+    ++pos;
+    if (pos >= total) return;
+    advance(1);
+  }
 }
 
 }  // namespace
@@ -135,28 +189,41 @@ Graph random_tree(NodeId n, Rng& rng) {
 Graph gnp(NodeId n, double p, Rng& rng) {
   RISE_CHECK(n >= 1);
   RISE_CHECK(p >= 0.0 && p <= 1.0);
-  std::vector<Edge> edges;
-  for (NodeId u = 0; u < n; ++u)
-    for (NodeId v = u + 1; v < n; ++v)
-      if (rng.chance(p)) edges.push_back({u, v});
-  return from(n, std::move(edges));
+  // Two passes over the identical draw sequence: a throwaway copy of the rng
+  // tallies degrees, then the caller's rng replays the same skips to fill —
+  // so the caller's stream advances exactly once and nothing but the CSR is
+  // ever allocated.
+  CsrBuilder builder(n);
+  Rng count_rng = rng;
+  sample_gnp_pairs(n, p, count_rng,
+                   [&](NodeId u, NodeId v) { builder.count_edge(u, v); });
+  builder.begin_fill();
+  sample_gnp_pairs(n, p, rng,
+                   [&](NodeId u, NodeId v) { builder.fill_edge(u, v); });
+  return builder.finish();
 }
 
 Graph connected_gnp(NodeId n, double p, Rng& rng) {
   RISE_CHECK(n >= 1);
-  std::set<std::pair<NodeId, NodeId>> seen;
-  std::vector<Edge> edges;
-  auto add = [&](NodeId u, NodeId v) {
-    if (u > v) std::swap(u, v);
-    if (seen.insert({u, v}).second) edges.push_back({u, v});
-  };
-  // Random spanning tree backbone.
+  // Random spanning tree backbone, then the G(n, p) overlay minus the pairs
+  // the tree already covers.
   const Graph tree = random_tree(n, rng);
-  for (const Edge& e : tree.edges()) add(e.u, e.v);
-  for (NodeId u = 0; u < n; ++u)
-    for (NodeId v = u + 1; v < n; ++v)
-      if (rng.chance(p)) add(u, v);
-  return from(n, std::move(edges));
+  std::unordered_set<std::uint64_t> tree_edges;
+  tree_edges.reserve(static_cast<std::size_t>(n) * 2);
+  tree.for_each_edge(
+      [&](NodeId u, NodeId v) { tree_edges.insert(pair_key(u, v)); });
+  CsrBuilder builder(n);
+  tree.for_each_edge([&](NodeId u, NodeId v) { builder.count_edge(u, v); });
+  Rng count_rng = rng;
+  sample_gnp_pairs(n, p, count_rng, [&](NodeId u, NodeId v) {
+    if (!tree_edges.contains(pair_key(u, v))) builder.count_edge(u, v);
+  });
+  builder.begin_fill();
+  tree.for_each_edge([&](NodeId u, NodeId v) { builder.fill_edge(u, v); });
+  sample_gnp_pairs(n, p, rng, [&](NodeId u, NodeId v) {
+    if (!tree_edges.contains(pair_key(u, v))) builder.fill_edge(u, v);
+  });
+  return builder.finish();
 }
 
 Graph random_regular(NodeId n, NodeId d, Rng& rng) {
@@ -179,7 +246,8 @@ Graph random_regular(NodeId n, NodeId d, Rng& rng) {
       if (a > b) std::swap(a, b);
       return (static_cast<std::uint64_t>(a) << 32) | b;
     };
-    std::map<std::uint64_t, int> count;
+    std::unordered_map<std::uint64_t, int> count;
+    count.reserve(num_pairs * 2);
     auto pair_bad = [&](std::size_t i) {
       const NodeId a = stubs[2 * i], b = stubs[2 * i + 1];
       return a == b || count[key(a, b)] > 1;
@@ -227,12 +295,17 @@ Graph random_regular(NodeId n, NodeId d, Rng& rng) {
       if (!ok) break;
     }
     if (!ok) continue;
-    std::vector<Edge> edges;
-    edges.reserve(num_pairs);
+    // Stream the repaired stub pairing straight into CSR form; the stubs
+    // array already is the edge list.
+    CsrBuilder builder(n);
     for (std::size_t i = 0; i < num_pairs; ++i) {
-      edges.push_back({stubs[2 * i], stubs[2 * i + 1]});
+      builder.count_edge(stubs[2 * i], stubs[2 * i + 1]);
     }
-    return from(n, std::move(edges));
+    builder.begin_fill();
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      builder.fill_edge(stubs[2 * i], stubs[2 * i + 1]);
+    }
+    return builder.finish();
   }
   RISE_CHECK_MSG(false, "random_regular failed to converge (n=" << n << " d="
                                                                 << d << ")");
@@ -273,16 +346,20 @@ Graph barbell(NodeId clique_size, NodeId bridge_len) {
 
 Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
   RISE_CHECK(attach >= 1 && n > attach);
-  std::vector<Edge> edges;
-  // Seed clique on attach+1 nodes.
-  for (NodeId u = 0; u <= attach; ++u)
-    for (NodeId v = u + 1; v <= attach; ++v) edges.push_back({u, v});
   // The endpoint multiset realizes preferential attachment: a node appears
   // once per incident edge, so uniform sampling from it is degree-weighted.
+  // Consecutive entries (endpoints[2i], endpoints[2i+1]) *are* the edge
+  // list, so no separate edge vector is ever materialized.
   std::vector<NodeId> endpoints;
-  for (const Edge& e : edges) {
-    endpoints.push_back(e.u);
-    endpoints.push_back(e.v);
+  endpoints.reserve((static_cast<std::size_t>(attach) * (attach + 1) / 2 +
+                     static_cast<std::size_t>(n - attach - 1) * attach) *
+                    2);
+  // Seed clique on attach+1 nodes.
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = u + 1; v <= attach; ++v) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
   }
   for (NodeId u = attach + 1; u < n; ++u) {
     std::set<NodeId> targets;
@@ -290,12 +367,19 @@ Graph barabasi_albert(NodeId n, NodeId attach, Rng& rng) {
       targets.insert(endpoints[rng.uniform(endpoints.size())]);
     }
     for (NodeId v : targets) {
-      edges.push_back({u, v});
       endpoints.push_back(u);
       endpoints.push_back(v);
     }
   }
-  return from(n, std::move(edges));
+  CsrBuilder builder(n);
+  for (std::size_t i = 0; i + 1 < endpoints.size(); i += 2) {
+    builder.count_edge(endpoints[i], endpoints[i + 1]);
+  }
+  builder.begin_fill();
+  for (std::size_t i = 0; i + 1 < endpoints.size(); i += 2) {
+    builder.fill_edge(endpoints[i], endpoints[i + 1]);
+  }
+  return builder.finish();
 }
 
 Graph complete_plus_pendant(NodeId n) {

@@ -7,50 +7,26 @@
 namespace rise::graph {
 
 Graph Graph::from_edges(NodeId num_nodes, std::vector<Edge> edges) {
+  CsrBuilder builder(num_nodes);
+  for (const Edge& e : edges) builder.count_edge(e.u, e.v);
+  builder.begin_fill();
+  for (const Edge& e : edges) builder.fill_edge(e.u, e.v);
+  return builder.finish();
+}
+
+Graph Graph::from_csr_view(NodeId num_nodes, std::uint64_t num_edges,
+                           const std::uint64_t* offsets, const NodeId* adjacency,
+                           std::shared_ptr<const void> keep_alive) {
+  RISE_CHECK(offsets != nullptr);
+  RISE_CHECK_MSG(offsets[0] == 0 && offsets[num_nodes] == 2 * num_edges,
+                 "CSR view offsets inconsistent with edge count");
   Graph g;
-  for (auto& e : edges) {
-    RISE_CHECK_MSG(e.u != e.v, "self-loop at node " << e.u);
-    RISE_CHECK_MSG(e.u < num_nodes && e.v < num_nodes,
-                   "edge endpoint out of range: {" << e.u << "," << e.v
-                                                   << "} n=" << num_nodes);
-    if (e.u > e.v) std::swap(e.u, e.v);
-  }
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  const auto dup = std::adjacent_find(edges.begin(), edges.end());
-  RISE_CHECK_MSG(dup == edges.end(), "duplicate edge in edge list");
-
-  g.edges_ = std::move(edges);
-  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
-  for (const Edge& e : g.edges_) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
-  }
-  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
-  }
-  g.adjacency_.resize(g.edges_.size() * 2);
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const Edge& e : g.edges_) {
-    g.adjacency_[cursor[e.u]++] = e.v;
-    g.adjacency_[cursor[e.v]++] = e.u;
-  }
-  for (NodeId u = 0; u < num_nodes; ++u) {
-    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]),
-              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]));
-  }
+  g.n_ = num_nodes;
+  g.m_ = num_edges;
+  g.offsets_ = offsets;
+  g.adjacency_ = adjacency;
+  g.backing_ = std::move(keep_alive);
   return g;
-}
-
-std::span<const NodeId> Graph::neighbors(NodeId u) const {
-  RISE_DCHECK(u < num_nodes());
-  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
-}
-
-NodeId Graph::degree(NodeId u) const {
-  RISE_DCHECK(u < num_nodes());
-  return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -65,6 +41,13 @@ std::optional<std::uint32_t> Graph::neighbor_slot(NodeId u, NodeId v) const {
   return static_cast<std::uint32_t>(it - nb.begin());
 }
 
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m_));
+  for_each_edge([&edges](NodeId u, NodeId v) { edges.push_back({u, v}); });
+  return edges;
+}
+
 NodeId Graph::max_degree() const {
   NodeId best = 0;
   for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
@@ -76,6 +59,67 @@ NodeId Graph::min_degree() const {
   NodeId best = degree(0);
   for (NodeId u = 1; u < num_nodes(); ++u) best = std::min(best, degree(u));
   return best;
+}
+
+CsrBuilder::CsrBuilder(NodeId num_nodes)
+    : n_(num_nodes), storage_(std::make_shared<Storage>()) {
+  storage_->offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+}
+
+void CsrBuilder::count_edge(NodeId u, NodeId v) {
+  RISE_DCHECK(phase_ == Phase::kCount);
+  RISE_CHECK_MSG(u != v, "self-loop at node " << u);
+  RISE_CHECK_MSG(u < n_ && v < n_, "edge endpoint out of range: {"
+                                       << u << "," << v << "} n=" << n_);
+  ++storage_->offsets[static_cast<std::size_t>(u) + 1];
+  ++storage_->offsets[static_cast<std::size_t>(v) + 1];
+  ++m_;
+}
+
+void CsrBuilder::begin_fill() {
+  RISE_DCHECK(phase_ == Phase::kCount);
+  phase_ = Phase::kFill;
+  auto& offsets = storage_->offsets;
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  storage_->adjacency.resize(static_cast<std::size_t>(m_) * 2);
+  cursor_.assign(offsets.begin(), offsets.end() - 1);
+}
+
+void CsrBuilder::fill_edge(NodeId u, NodeId v) {
+  RISE_DCHECK(phase_ == Phase::kFill);
+  RISE_DCHECK(u < n_ && v < n_ && u != v);
+  auto& adjacency = storage_->adjacency;
+  adjacency[static_cast<std::size_t>(cursor_[u]++)] = v;
+  adjacency[static_cast<std::size_t>(cursor_[v]++)] = u;
+}
+
+Graph CsrBuilder::finish() {
+  RISE_DCHECK(phase_ == Phase::kFill);
+  phase_ = Phase::kDone;
+  const auto& offsets = storage_->offsets;
+  for (NodeId u = 0; u < n_; ++u) {
+    RISE_CHECK_MSG(cursor_[u] == offsets[u + 1],
+                   "fill pass replayed a different edge multiset than the "
+                   "count pass (node " << u << ")");
+  }
+  auto& adjacency = storage_->adjacency;
+  for (NodeId u = 0; u < n_; ++u) {
+    const auto first = adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+    const auto last =
+        adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
+    std::sort(first, last);
+    RISE_CHECK_MSG(std::adjacent_find(first, last) == last,
+                   "duplicate edge in edge list");
+  }
+  cursor_.clear();
+  cursor_.shrink_to_fit();
+  Graph g;
+  g.n_ = n_;
+  g.m_ = m_;
+  g.offsets_ = storage_->offsets.data();
+  g.adjacency_ = storage_->adjacency.data();
+  g.backing_ = std::move(storage_);
+  return g;
 }
 
 }  // namespace rise::graph

@@ -216,7 +216,7 @@ Graph connect_components_on_left(const BipartiteGraph& bg) {
     reps.push_back(rep);
     ++next;
   }
-  auto edges = g.edges();
+  auto edges = g.edge_list();
   for (std::size_t i = 1; i < reps.size(); ++i) {
     edges.push_back({reps[0], reps[i]});
   }

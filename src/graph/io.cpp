@@ -13,9 +13,7 @@ namespace rise::graph {
 void write_edge_list(std::ostream& os, const Graph& g) {
   os << "# rise edge list\n";
   os << "n " << g.num_nodes() << "\n";
-  for (const Edge& e : g.edges()) {
-    os << e.u << " " << e.v << "\n";
-  }
+  g.for_each_edge([&os](NodeId u, NodeId v) { os << u << " " << v << "\n"; });
 }
 
 std::string to_edge_list(const Graph& g) {
@@ -70,9 +68,8 @@ void write_dot(std::ostream& os, const Graph& g,
   for (NodeId u : highlight) {
     os << "  " << u << " [style=filled, fillcolor=gold];\n";
   }
-  for (const Edge& e : g.edges()) {
-    os << "  " << e.u << " -- " << e.v << ";\n";
-  }
+  g.for_each_edge(
+      [&os](NodeId u, NodeId v) { os << "  " << u << " -- " << v << ";\n"; });
   os << "}\n";
 }
 

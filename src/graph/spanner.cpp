@@ -46,38 +46,39 @@ Graph greedy_spanner(const Graph& g, unsigned k) {
   std::vector<Edge> kept;
   std::vector<std::uint32_t> dist(n, 0);
   std::uint32_t generation = 0;
-  for (const Edge& e : g.edges()) {
+  g.for_each_edge([&](NodeId u, NodeId v) {
     generation += stretch + 2;  // invalidate previous stamps
-    if (!within_distance(adj, e.u, e.v, stretch, dist, generation)) {
-      adj[e.u].push_back(e.v);
-      adj[e.v].push_back(e.u);
-      kept.push_back(e);
+    if (!within_distance(adj, u, v, stretch, dist, generation)) {
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+      kept.push_back({u, v});
     }
-  }
+  });
   return Graph::from_edges(n, std::move(kept));
 }
 
 bool verify_spanner(const Graph& g, const Graph& spanner, unsigned stretch) {
   if (spanner.num_nodes() != g.num_nodes()) return false;
-  for (const Edge& e : spanner.edges()) {
-    if (!g.has_edge(e.u, e.v)) return false;
-  }
+  bool ok = true;
+  spanner.for_each_edge([&](NodeId u, NodeId v) {
+    if (!g.has_edge(u, v)) ok = false;
+  });
+  if (!ok) return false;
   // It suffices to check stretch on the edges of g.
   const NodeId n = g.num_nodes();
   std::vector<std::vector<NodeId>> adj(n);
-  for (const Edge& e : spanner.edges()) {
-    adj[e.u].push_back(e.v);
-    adj[e.v].push_back(e.u);
-  }
+  spanner.for_each_edge([&](NodeId u, NodeId v) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  });
   std::vector<std::uint32_t> dist(n, 0);
   std::uint32_t generation = 0;
-  for (const Edge& e : g.edges()) {
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    if (!ok) return;
     generation += stretch + 2;
-    if (!within_distance(adj, e.u, e.v, stretch, dist, generation)) {
-      return false;
-    }
-  }
-  return true;
+    if (!within_distance(adj, u, v, stretch, dist, generation)) ok = false;
+  });
+  return ok;
 }
 
 }  // namespace rise::graph

@@ -42,7 +42,7 @@ Kt1Family make_kt1_family(unsigned k, std::uint64_t q) {
   const graph::NodeId n = d.left_size;
   // D(k,q): left side (points) becomes V = 0..n-1, right side (lines)
   // becomes U = n..2n-1 — this matches D's own layout, so edges carry over.
-  std::vector<graph::Edge> edges = d.graph.edges();
+  std::vector<graph::Edge> edges = d.graph.edge_list();
   for (graph::NodeId i = 0; i < n; ++i) {
     edges.push_back({i, 2 * n + i});
   }

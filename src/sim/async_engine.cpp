@@ -1,171 +1,9 @@
 #include "sim/async_engine.hpp"
 
-#include <algorithm>
-#include <vector>
-
 #include "sim/engine_core.hpp"
-#include "sim/event_queue.hpp"
-#include "support/check.hpp"
+#include "sim/engine_impl.hpp"
 
 namespace rise::sim {
-
-namespace {
-
-class AsyncImpl;
-
-class AsyncContext final : public CoreContext {
- public:
-  AsyncContext(AsyncImpl& engine, EngineCore& core)
-      : CoreContext(core), engine_(engine) {}
-
-  void send(Port p, Message msg) override;
-  Time now() const override;
-  std::uint64_t local_round() const override { return 0; }
-  void request_tick() override {
-    RISE_CHECK_MSG(false, "request_tick is a synchronous-engine feature");
-  }
-
- private:
-  AsyncImpl& engine_;
-};
-
-class AsyncImpl {
- public:
-  AsyncImpl(const Instance& instance, const DelayPolicy& delays,
-            const WakeSchedule& schedule, std::uint64_t seed,
-            const ProcessFactory& factory, const RunLimits& limits,
-            TraceSink* trace, obs::Probe* probe, EventQueue::Mode queue_mode,
-            RunWorkspace* workspace)
-      : core_(instance, delays.max_delay(), seed, factory, trace, probe,
-              workspace),
-        delays_(delays),
-        max_delay_(delays.max_delay()),
-        // Every shipped policy with max_delay() == 1 returns exactly 1 (the
-        // engine-enforced legal range is [1, max_delay]), so the per-send
-        // virtual delay() call can be skipped entirely on the unit-delay
-        // hot path. Fault-injection wrappers (check::LateDeliveryFault)
-        // declare max_delay() >= 2 and therefore never take the fast path.
-        unit_delays_(delays.max_delay() == 1),
-        limits_(limits),
-        ctx_(*this, core_),
-        workspace_(workspace),
-        probe_(probe) {
-    if (workspace_ != nullptr) {
-      channels_ = std::move(workspace_->channels);
-      events_ = std::move(workspace_->events);
-    }
-    channels_.assign(instance.num_directed_edges(), ChannelState{});
-    events_.reset(max_delay_, queue_mode);
-    if (probe_ != nullptr) {
-      probe_->set_backend(events_.using_buckets() ? "buckets" : "heap");
-    }
-    const NodeId n = instance.num_nodes();
-    for (const auto& [t, u] : schedule.wakes) {
-      RISE_CHECK(u < n);
-      events_.push({t, next_seq_++, EventKind::kWake, u, kInvalidPort, {}});
-    }
-  }
-
-  ~AsyncImpl() {
-    if (workspace_ == nullptr) return;
-    workspace_->channels = std::move(channels_);
-    workspace_->events = std::move(events_);
-  }
-
-  RunResult run() {
-    const Instance& instance = core_.instance();
-    Metrics& metrics = core_.result().metrics;
-    TraceSink* trace = core_.trace();
-    while (!events_.empty()) {
-      Event ev = events_.pop();
-      now_ = ev.t;
-      ++metrics.events;
-      if (probe_ != nullptr) probe_->on_event_pop(events_.size());
-      RISE_CHECK_MSG(metrics.events <= limits_.max_events,
-                     "async engine exceeded max_events ("
-                         << limits_.max_events << ") — runaway algorithm?");
-      switch (ev.kind) {
-        case EventKind::kWake:
-          wake_node(ev.node, WakeCause::kAdversary);
-          break;
-        case EventKind::kDeliver: {
-          core_.account_delivery(ev.node, ev.t);
-          if (trace != nullptr) {
-            trace->on_deliver(ev.t, instance.port_to_neighbor(ev.node, ev.port),
-                              ev.node, ev.msg);
-          }
-          wake_node(ev.node, WakeCause::kMessage);
-          ctx_.attach(ev.node);
-          Incoming in{ev.port, std::move(ev.msg)};
-          core_.process(ev.node).on_message(ctx_, in);
-          break;
-        }
-      }
-    }
-    return core_.take_result();
-  }
-
-  void send_from(NodeId from, Port p, Message msg) {
-    const Instance& instance = core_.instance();
-    RISE_CHECK_MSG(p < instance.graph().degree(from),
-                   "send on invalid port " << p << " at node " << from);
-    core_.account_send(from, msg, now_);
-    const NodeId to = instance.port_to_neighbor(from, p);
-    if (core_.trace() != nullptr) core_.trace()->on_send(now_, from, to, msg);
-    auto& chan = channels_[instance.directed_edge_id(from, p)];
-    Time d = 1;
-    if (!unit_delays_) {
-      d = delays_.delay(from, to, chan.msg_index, now_);
-      RISE_CHECK_MSG(d >= 1 && d <= max_delay_, "delay policy out of range");
-    }
-    ++chan.msg_index;
-    Time arrive = now_ + d;
-    arrive = std::max(arrive, chan.last_delivery);  // FIFO clamp
-    chan.last_delivery = arrive;
-
-    // A delivery clamped past max_time is dropped: the send was already
-    // charged, so metrics.deliveries stays <= metrics.messages.
-    if (limits_.max_time != kNever && arrive > limits_.max_time) return;
-    const Port receiver_port = instance.reverse_port(from, p);
-    events_.push({arrive, next_seq_++, EventKind::kDeliver, to, receiver_port,
-                  std::move(msg)});
-    if (probe_ != nullptr) {
-      probe_->on_queue_push(events_.size(), events_.ring_occupancy(),
-                            events_.overflow_occupancy());
-    }
-  }
-
-  Time now() const { return now_; }
-
- private:
-  void wake_node(NodeId u, WakeCause cause) {
-    if (!core_.mark_awake(u, now_, cause)) return;
-    ctx_.attach(u);
-    core_.process(u).on_wake(ctx_, cause);
-  }
-
-  EngineCore core_;
-  const DelayPolicy& delays_;
-  Time max_delay_;
-  bool unit_delays_;
-  RunLimits limits_;
-  AsyncContext ctx_;
-  RunWorkspace* workspace_;
-
-  std::vector<ChannelState> channels_;
-  EventQueue events_;
-  obs::Probe* probe_;
-  std::uint64_t next_seq_ = 0;
-  Time now_ = 0;
-};
-
-void AsyncContext::send(Port p, Message msg) {
-  engine_.send_from(node_, p, std::move(msg));
-}
-
-Time AsyncContext::now() const { return engine_.now(); }
-
-}  // namespace
 
 AsyncEngine::AsyncEngine(const Instance& instance, const DelayPolicy& delays,
                          WakeSchedule schedule, std::uint64_t seed)
@@ -176,9 +14,15 @@ AsyncEngine::AsyncEngine(const Instance& instance, const DelayPolicy& delays,
 
 RunResult AsyncEngine::run(const ProcessFactory& factory,
                            const RunLimits& limits) {
-  AsyncImpl impl(instance_, delays_, schedule_, seed_, factory, limits,
-                 trace_, probe_, queue_mode_, workspace_);
-  return impl.run();
+  // The runner must be destroyed before the core: it returns the channel and
+  // event storage to the workspace, then the core returns the per-node
+  // tables — the same hand-back order the engines have always used.
+  EngineCore core(instance_, delays_.max_delay(), seed_, factory, trace_,
+                  probe_, workspace_);
+  internal::ProcessHandler handler{core};
+  internal::AsyncRunner<internal::ProcessHandler> runner(
+      handler, core, delays_, schedule_, limits, queue_mode_, workspace_);
+  return runner.run();
 }
 
 RunResult run_async(const Instance& instance, const DelayPolicy& delays,

@@ -14,15 +14,31 @@ EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
       probe_(probe),
       workspace_(workspace) {
   const NodeId n = instance.num_nodes();
+  if (workspace_ != nullptr) processes_ = std::move(workspace_->processes);
+  processes_.resize(n);
+  for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
+  init_run_state(tau, seed);
+}
+
+EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
+                       TraceSink* trace, obs::Probe* probe,
+                       RunWorkspace* workspace)
+    : instance_(instance),
+      trace_(trace),
+      probe_(probe),
+      workspace_(workspace),
+      uses_processes_(false) {
+  init_run_state(tau, seed);
+}
+
+void EngineCore::init_run_state(Time tau, std::uint64_t seed) {
+  const NodeId n = instance_.num_nodes();
   if (probe_ != nullptr) probe_->attach_run(n);
   if (workspace_ != nullptr) {
-    processes_ = std::move(workspace_->processes);
     rngs_ = std::move(workspace_->rngs);
     awake_ = std::move(workspace_->awake);
     result_ = std::move(workspace_->result);
   }
-  processes_.resize(n);
-  for (NodeId u = 0; u < n; ++u) processes_[u] = factory(u);
   rngs_.clear();
   rngs_.reserve(n);
   for (NodeId u = 0; u < n; ++u) rngs_.emplace_back(mix_seed(seed, u));
@@ -43,39 +59,13 @@ EngineCore::EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
 
 EngineCore::~EngineCore() {
   if (workspace_ == nullptr) return;
-  workspace_->processes = std::move(processes_);
+  // Kernel-mode cores never touched workspace->processes; clobbering it here
+  // would throw away the recycled Process objects of an interleaved
+  // Process-path run on the same workspace.
+  if (uses_processes_) workspace_->processes = std::move(processes_);
   workspace_->rngs = std::move(rngs_);
   workspace_->awake = std::move(awake_);
   workspace_->result = std::move(result_);
-}
-
-void EngineCore::account_send(NodeId from, const Message& msg, Time t) {
-  if (instance_.bandwidth() == Bandwidth::CONGEST) {
-    RISE_CHECK_MSG(msg.logical_bits() <= instance_.congest_bit_budget(),
-                   "CONGEST violation: message of "
-                       << msg.logical_bits() << " bits exceeds budget of "
-                       << instance_.congest_bit_budget());
-  }
-  ++result_.metrics.messages;
-  result_.metrics.bits += msg.logical_bits();
-  ++result_.metrics.sent_per_node[from];
-  if (probe_ != nullptr) probe_->on_send(from, msg.logical_bits(), t);
-}
-
-void EngineCore::account_delivery(NodeId to, Time t, std::uint64_t count) {
-  result_.metrics.deliveries += count;
-  result_.metrics.received_per_node[to] += static_cast<std::uint32_t>(count);
-  result_.metrics.last_delivery = std::max(result_.metrics.last_delivery, t);
-}
-
-bool EngineCore::mark_awake(NodeId u, Time t, WakeCause cause) {
-  if (awake_[u] != 0) return false;
-  awake_[u] = 1;
-  result_.wake_time[u] = t;
-  result_.metrics.first_wake = std::min(result_.metrics.first_wake, t);
-  result_.metrics.last_wake = std::max(result_.metrics.last_wake, t);
-  if (trace_ != nullptr) trace_->on_node_wake(t, u, cause);
-  return true;
 }
 
 std::span<const Label> CoreContext::neighbor_labels() const {

@@ -13,6 +13,7 @@
 // previously created lazily through a hash map, so runs are bit-identical.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
 #include "sim/workspace.hpp"
+#include "support/check.hpp"
 
 namespace rise::sim {
 
@@ -37,6 +39,15 @@ class EngineCore {
   EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
              const ProcessFactory& factory, TraceSink* trace,
              obs::Probe* probe = nullptr, RunWorkspace* workspace = nullptr);
+
+  /// Kernel-mode core: identical bookkeeping but no per-node Process objects
+  /// are created (a kernel holds node state in flat vectors instead; see
+  /// sim/kernel.hpp). process() must not be called on a core built this way.
+  /// The workspace's recycled `processes` vector is left untouched so later
+  /// Process-path runs still reuse it.
+  EngineCore(const Instance& instance, Time tau, std::uint64_t seed,
+             TraceSink* trace, obs::Probe* probe = nullptr,
+             RunWorkspace* workspace = nullptr);
 
   ~EngineCore();
 
@@ -56,23 +67,52 @@ class EngineCore {
 
   /// CONGEST enforcement plus send-side metrics (messages, bits,
   /// sent_per_node) and probe attribution. Call exactly once per send,
-  /// before enqueueing; `t` is the send time (tick or round).
-  void account_send(NodeId from, const Message& msg, Time t);
+  /// before enqueueing; `t` is the send time (tick or round). Inline (with
+  /// the two hooks below) because it runs once per simulated message.
+  void account_send(NodeId from, const Message& msg, Time t) {
+    if (instance_.bandwidth() == Bandwidth::CONGEST) {
+      RISE_CHECK_MSG(msg.logical_bits() <= instance_.congest_bit_budget(),
+                     "CONGEST violation: message of "
+                         << msg.logical_bits() << " bits exceeds budget of "
+                         << instance_.congest_bit_budget());
+    }
+    ++result_.metrics.messages;
+    result_.metrics.bits += msg.logical_bits();
+    ++result_.metrics.sent_per_node[from];
+    if (probe_ != nullptr) probe_->on_send(from, msg.logical_bits(), t);
+  }
 
   /// Delivery-side metrics (deliveries, received_per_node, last_delivery).
-  void account_delivery(NodeId to, Time t, std::uint64_t count = 1);
+  void account_delivery(NodeId to, Time t, std::uint64_t count = 1) {
+    result_.metrics.deliveries += count;
+    result_.metrics.received_per_node[to] += static_cast<std::uint32_t>(count);
+    result_.metrics.last_delivery = std::max(result_.metrics.last_delivery, t);
+  }
 
   /// Marks u awake at time t: flags, wake_time, first/last-wake metrics and
   /// the trace callback. Returns false (a no-op) if u was already awake.
   /// Does NOT call Process::on_wake — the engines do, after their own
   /// engine-specific bookkeeping (e.g. the sync engine's local-round base).
-  bool mark_awake(NodeId u, Time t, WakeCause cause);
+  bool mark_awake(NodeId u, Time t, WakeCause cause) {
+    if (awake_[u] != 0) return false;
+    awake_[u] = 1;
+    result_.wake_time[u] = t;
+    result_.metrics.first_wake = std::min(result_.metrics.first_wake, t);
+    result_.metrics.last_wake = std::max(result_.metrics.last_wake, t);
+    if (trace_ != nullptr) trace_->on_node_wake(t, u, cause);
+    return true;
+  }
 
  private:
+  /// Sizes / re-initializes everything except processes_ (shared by both
+  /// constructors).
+  void init_run_state(Time tau, std::uint64_t seed);
+
   const Instance& instance_;
   TraceSink* trace_;
   obs::Probe* probe_;
   RunWorkspace* workspace_;
+  bool uses_processes_ = true;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Rng> rngs_;
   std::vector<std::uint8_t> awake_;

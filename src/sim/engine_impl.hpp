@@ -1,0 +1,386 @@
+// The engines' event loops, templated over the per-node dispatch strategy.
+//
+// Both engines run the same loops for two programming models:
+//
+//   * the virtual `Process` path (one heap object per node, ProcessFactory)
+//     — kept for the fuzzer, tests and third-party algorithms; and
+//   * the flat SoA kernel path (sim/kernel.hpp) — per-family node state in
+//     parallel vectors, with on_wake/on_message/on_round resolved at compile
+//     time instead of through two pointer chases per event.
+//
+// AsyncRunner/SyncRunner here hold the loop code exactly once, templated on
+// a Handler with
+//
+//   handler.on_wake(ctx, cause)      // ctx.node() is the woken node
+//   handler.on_message(ctx, in)
+//   handler.on_round(ctx, inbox)
+//
+// ProcessHandler forwards each hook to the node's virtual Process, which
+// reproduces the historical engines verbatim; a Kernel *is* its own handler,
+// so its template hooks inline into the loop with the final context types
+// below, devirtualizing every ctx call the algorithm makes. Both paths run
+// the identical accounting/trace/queue code, which is why they are
+// bit-identical (pinned by test_sim_kernels).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/delay_policy.hpp"
+#include "sim/engine_core.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sync_engine.hpp"
+#include "sim/workspace.hpp"
+#include "support/check.hpp"
+
+namespace rise::sim::internal {
+
+/// Dispatches engine hooks to the node's heap-allocated virtual Process.
+struct ProcessHandler {
+  EngineCore& core;
+
+  template <class Ctx>
+  void on_wake(Ctx& ctx, WakeCause cause) {
+    core.process(ctx.node()).on_wake(ctx, cause);
+  }
+  template <class Ctx>
+  void on_message(Ctx& ctx, const Incoming& in) {
+    core.process(ctx.node()).on_message(ctx, in);
+  }
+  template <class Ctx>
+  void on_round(Ctx& ctx, std::span<const Incoming> inbox) {
+    core.process(ctx.node()).on_round(ctx, inbox);
+  }
+};
+
+template <class Handler>
+class AsyncRunner;
+
+template <class Handler>
+class AsyncRunnerContext final : public CoreContext {
+ public:
+  AsyncRunnerContext(AsyncRunner<Handler>& engine, EngineCore& core)
+      : CoreContext(core), engine_(engine) {}
+
+  void send(Port p, Message msg) override {
+    engine_.send_from(node_, p, std::move(msg));
+  }
+  Time now() const override { return engine_.now(); }
+  std::uint64_t local_round() const override { return 0; }
+  void request_tick() override {
+    RISE_CHECK_MSG(false, "request_tick is a synchronous-engine feature");
+  }
+
+ private:
+  AsyncRunner<Handler>& engine_;
+};
+
+template <class Handler>
+class AsyncRunner {
+ public:
+  AsyncRunner(Handler& handler, EngineCore& core, const DelayPolicy& delays,
+              const WakeSchedule& schedule, const RunLimits& limits,
+              EventQueue::Mode queue_mode, RunWorkspace* workspace)
+      : handler_(handler),
+        core_(core),
+        delays_(delays),
+        max_delay_(delays.max_delay()),
+        // Every shipped policy with max_delay() == 1 returns exactly 1 (the
+        // engine-enforced legal range is [1, max_delay]), so the per-send
+        // virtual delay() call can be skipped entirely on the unit-delay
+        // hot path. Fault-injection wrappers (check::LateDeliveryFault)
+        // declare max_delay() >= 2 and therefore never take the fast path.
+        unit_delays_(delays.max_delay() == 1),
+        limits_(limits),
+        ctx_(*this, core),
+        workspace_(workspace),
+        probe_(core.probe()) {
+    const Instance& instance = core_.instance();
+    if (workspace_ != nullptr) {
+      channels_ = std::move(workspace_->channels);
+      events_ = std::move(workspace_->events);
+    }
+    channels_.assign(instance.num_directed_edges(), ChannelState{});
+    events_.reset(max_delay_, queue_mode);
+    if (probe_ != nullptr) {
+      probe_->set_backend(events_.using_buckets() ? "buckets" : "heap");
+    }
+    const NodeId n = instance.num_nodes();
+    for (const auto& [t, u] : schedule.wakes) {
+      RISE_CHECK(u < n);
+      events_.push({t, next_seq_++, EventKind::kWake, u, kInvalidPort, {}});
+    }
+  }
+
+  ~AsyncRunner() {
+    if (workspace_ == nullptr) return;
+    workspace_->channels = std::move(channels_);
+    workspace_->events = std::move(events_);
+  }
+
+  RunResult run() {
+    const Instance& instance = core_.instance();
+    Metrics& metrics = core_.result().metrics;
+    TraceSink* trace = core_.trace();
+    while (!events_.empty()) {
+      // Consume the front event in place: copy the scalars, steal the
+      // message, and drop the slot *before* dispatching (handlers send,
+      // which may reallocate the queue's storage under a front() reference).
+      Event& front = events_.front();
+      const EventKind kind = front.kind;
+      const NodeId node = front.node;
+      const Port port = front.port;
+      now_ = front.t;
+      Incoming in{port, std::move(front.msg)};
+      events_.drop_front();
+      ++metrics.events;
+      if (probe_ != nullptr) probe_->on_event_pop(events_.size());
+      RISE_CHECK_MSG(metrics.events <= limits_.max_events,
+                     "async engine exceeded max_events ("
+                         << limits_.max_events << ") — runaway algorithm?");
+      switch (kind) {
+        case EventKind::kWake:
+          wake_node(node, WakeCause::kAdversary);
+          break;
+        case EventKind::kDeliver: {
+          core_.account_delivery(node, now_);
+          if (trace != nullptr) {
+            trace->on_deliver(now_, instance.port_to_neighbor(node, port),
+                              node, in.msg);
+          }
+          wake_node(node, WakeCause::kMessage);
+          ctx_.attach(node);
+          handler_.on_message(ctx_, in);
+          break;
+        }
+      }
+    }
+    return core_.take_result();
+  }
+
+  void send_from(NodeId from, Port p, Message msg) {
+    const Instance& instance = core_.instance();
+    RISE_CHECK_MSG(p < instance.graph().degree(from),
+                   "send on invalid port " << p << " at node " << from);
+    core_.account_send(from, msg, now_);
+    const NodeId to = instance.port_to_neighbor(from, p);
+    if (core_.trace() != nullptr) core_.trace()->on_send(now_, from, to, msg);
+    auto& chan = channels_[instance.directed_edge_id(from, p)];
+    Time d = 1;
+    if (!unit_delays_) {
+      d = delays_.delay(from, to, chan.msg_index, now_);
+      RISE_CHECK_MSG(d >= 1 && d <= max_delay_, "delay policy out of range");
+    }
+    ++chan.msg_index;
+    Time arrive = now_ + d;
+    arrive = std::max(arrive, chan.last_delivery);  // FIFO clamp
+    chan.last_delivery = arrive;
+
+    // A delivery clamped past max_time is dropped: the send was already
+    // charged, so metrics.deliveries stays <= metrics.messages.
+    if (limits_.max_time != kNever && arrive > limits_.max_time) return;
+    const Port receiver_port = instance.reverse_port(from, p);
+    events_.emplace(arrive, next_seq_++, EventKind::kDeliver, to,
+                    receiver_port, std::move(msg));
+    if (probe_ != nullptr) {
+      probe_->on_queue_push(events_.size(), events_.ring_occupancy(),
+                            events_.overflow_occupancy());
+    }
+  }
+
+  Time now() const { return now_; }
+
+ private:
+  void wake_node(NodeId u, WakeCause cause) {
+    if (!core_.mark_awake(u, now_, cause)) return;
+    ctx_.attach(u);
+    handler_.on_wake(ctx_, cause);
+  }
+
+  Handler& handler_;
+  EngineCore& core_;
+  const DelayPolicy& delays_;
+  Time max_delay_;
+  bool unit_delays_;
+  RunLimits limits_;
+  AsyncRunnerContext<Handler> ctx_;
+  RunWorkspace* workspace_;
+
+  std::vector<ChannelState> channels_;
+  EventQueue events_;
+  obs::Probe* probe_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  Time now_ = 0;
+};
+
+template <class Handler>
+class SyncRunner;
+
+template <class Handler>
+class SyncRunnerContext final : public CoreContext {
+ public:
+  SyncRunnerContext(SyncRunner<Handler>& engine, EngineCore& core)
+      : CoreContext(core), engine_(engine) {}
+
+  void send(Port p, Message msg) override {
+    engine_.send_from(node_, p, std::move(msg));
+  }
+  Time now() const override { return engine_.round(); }
+  std::uint64_t local_round() const override {
+    return engine_.local_round(node_);
+  }
+  void request_tick() override { engine_.request_tick(node_); }
+
+ private:
+  SyncRunner<Handler>& engine_;
+};
+
+template <class Handler>
+class SyncRunner {
+ public:
+  SyncRunner(Handler& handler, EngineCore& core, const WakeSchedule& schedule,
+             const SyncRunLimits& limits, RunWorkspace* workspace)
+      : handler_(handler),
+        core_(core),
+        limits_(limits),
+        ctx_(*this, core),
+        workspace_(workspace),
+        probe_(core.probe()) {
+    if (probe_ != nullptr) probe_->set_backend("sync");
+    const Instance& instance = core_.instance();
+    const NodeId n = instance.num_nodes();
+    if (workspace_ != nullptr) {
+      wake_round_ = std::move(workspace_->wake_round);
+      inbox_ = std::move(workspace_->inbox);
+      next_inbox_ = std::move(workspace_->next_inbox);
+    }
+    wake_round_.assign(n, kNever);
+    reset_boxes(inbox_, n);
+    reset_boxes(next_inbox_, n);
+    for (const auto& [t, u] : schedule.wakes) {
+      RISE_CHECK(u < n);
+      pending_wakes_[t].push_back(u);
+    }
+  }
+
+  ~SyncRunner() {
+    if (workspace_ == nullptr) return;
+    workspace_->wake_round = std::move(wake_round_);
+    workspace_->inbox = std::move(inbox_);
+    workspace_->next_inbox = std::move(next_inbox_);
+  }
+
+  RunResult run() {
+    const NodeId n = core_.instance().num_nodes();
+    Metrics& metrics = core_.result().metrics;
+    for (round_ = 0;; ++round_) {
+      RISE_CHECK_MSG(round_ <= limits_.max_rounds,
+                     "sync engine exceeded max_rounds");
+      // 1. Deliver messages sent in the previous round.
+      std::swap(inbox_, next_inbox_);
+      for (auto& box : next_inbox_) box.clear();
+
+      // 2. Adversary wake-ups scheduled for this round.
+      std::vector<NodeId> active;
+      std::set<NodeId> adversary_woken;
+      if (const auto it = pending_wakes_.find(round_);
+          it != pending_wakes_.end()) {
+        for (NodeId u : it->second) {
+          active.push_back(u);
+          adversary_woken.insert(u);
+        }
+        pending_wakes_.erase(it);
+      }
+      for (NodeId u = 0; u < n; ++u) {
+        if (!inbox_[u].empty()) active.push_back(u);
+      }
+      for (NodeId u : tick_requests_) active.push_back(u);
+      tick_requests_.clear();
+
+      std::sort(active.begin(), active.end());
+      active.erase(std::unique(active.begin(), active.end()), active.end());
+
+      if (active.empty()) {
+        if (pending_wakes_.empty()) break;  // quiescent
+        // Fast-forward idle rounds to the next scheduled wake-up.
+        round_ = pending_wakes_.begin()->first - 1;
+        continue;
+      }
+
+      // 3. Step every active node.
+      for (NodeId u : active) {
+        ctx_.attach(u);
+        if (!core_.is_awake(u)) {
+          const WakeCause cause = adversary_woken.count(u)
+                                      ? WakeCause::kAdversary
+                                      : WakeCause::kMessage;
+          // local_round() must read 1 inside on_wake, so set the base first.
+          wake_round_[u] = round_;
+          core_.mark_awake(u, round_, cause);
+          handler_.on_wake(ctx_, cause);
+          ctx_.attach(u);  // on_wake may not change it, but be explicit
+        }
+        if (!inbox_[u].empty()) {
+          core_.account_delivery(u, round_, inbox_[u].size());
+        }
+        handler_.on_round(ctx_, inbox_[u]);
+        inbox_[u].clear();
+      }
+      metrics.events += active.size();
+      metrics.rounds = round_ + 1;
+      if (probe_ != nullptr) probe_->on_sync_round(active.size());
+    }
+    return core_.take_result();
+  }
+
+  void send_from(NodeId from, Port p, Message msg) {
+    const Instance& instance = core_.instance();
+    RISE_CHECK_MSG(p < instance.graph().degree(from),
+                   "send on invalid port " << p << " at node " << from);
+    core_.account_send(from, msg, round_);
+    RISE_CHECK_MSG(core_.result().metrics.messages <= limits_.max_messages,
+                   "sync engine exceeded max_messages");
+    const NodeId to = instance.port_to_neighbor(from, p);
+    if (core_.trace() != nullptr) {
+      core_.trace()->on_send(round_, from, to, msg);
+      core_.trace()->on_deliver(round_ + 1, from, to, msg);
+    }
+    const Port receiver_port = instance.reverse_port(from, p);
+    next_inbox_[to].push_back(Incoming{receiver_port, std::move(msg)});
+  }
+
+  Time round() const { return round_; }
+  std::uint64_t local_round(NodeId u) const {
+    return core_.is_awake(u) ? (round_ - wake_round_[u] + 1) : 0;
+  }
+  void request_tick(NodeId u) { tick_requests_.insert(u); }
+
+ private:
+  /// Clears each recycled inbox (an aborted run can leave messages behind)
+  /// and sizes the vector for n nodes, keeping all inner capacity.
+  static void reset_boxes(std::vector<std::vector<Incoming>>& boxes,
+                          NodeId n) {
+    for (auto& box : boxes) box.clear();
+    boxes.resize(n);
+  }
+
+  Handler& handler_;
+  EngineCore& core_;
+  SyncRunLimits limits_;
+  SyncRunnerContext<Handler> ctx_;
+  RunWorkspace* workspace_;
+  obs::Probe* probe_ = nullptr;
+
+  Time round_ = 0;
+  std::vector<Time> wake_round_;
+  std::vector<std::vector<Incoming>> inbox_;
+  std::vector<std::vector<Incoming>> next_inbox_;
+  std::map<Time, std::vector<NodeId>> pending_wakes_;
+  std::set<NodeId> tick_requests_;
+};
+
+}  // namespace rise::sim::internal

@@ -8,14 +8,6 @@ namespace rise::sim {
 
 namespace {
 
-/// "a is processed after b" — strict weak order for min-heap-via-max-heap.
-struct EventAfter {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.t != b.t) return a.t > b.t;
-    return a.seq > b.seq;
-  }
-};
-
 std::size_t next_pow2(std::size_t v) {
   std::size_t p = 1;
   while (p < v) p <<= 1;
@@ -58,33 +50,10 @@ void EventQueue::reset(Time max_delay, Mode mode) {
   }
 }
 
-void EventQueue::push(Event ev) {
-  // Always-on: a stale push (ev.t < cursor_) would index the ring modulo B
-  // and land one full lap in the future, silently reordering the timeline in
-  // release builds where a DCHECK compiles out.
-  RISE_CHECK_MSG(ev.t >= cursor_, "push at time " << ev.t
-                                                  << " precedes the cursor ("
-                                                  << cursor_ << ")");
-  ++size_;
-  if (buckets_on_ && ev.t - cursor_ < num_buckets_) {
-    buckets_[ev.t & mask_].push_back(std::move(ev));
-    ++ring_size_;
-  } else {
-    heap_push(std::move(ev));
-  }
-}
-
-Event EventQueue::pop() {
-  RISE_CHECK_MSG(size_ != 0, "pop on empty event queue");
-  --size_;
-  if (!buckets_on_) return heap_pop();
+Event& EventQueue::front_advance() {
   for (;;) {
     auto& slot = buckets_[cursor_ & mask_];
-    if (cursor_pos_ < slot.size()) {
-      Event ev = std::move(slot[cursor_pos_++]);
-      --ring_size_;
-      return ev;
-    }
+    if (cursor_pos_ < slot.size()) return slot[cursor_pos_];
     // The current tick is drained; free the slot for reuse one lap later.
     slot.clear();
     cursor_pos_ = 0;
@@ -111,8 +80,9 @@ void EventQueue::migrate() {
   }
 }
 
-void EventQueue::heap_push(Event ev) {
-  heap_.push_back(std::move(ev));
+void EventQueue::emplace_overflow(Time t, std::uint64_t seq, EventKind kind,
+                                  NodeId node, Port port, Message msg) {
+  heap_.emplace_back(t, seq, kind, node, port, std::move(msg));
   std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
 }
 

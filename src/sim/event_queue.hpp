@@ -21,11 +21,13 @@
 // equivalence on random workloads.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "sim/message.hpp"
 #include "sim/types.hpp"
+#include "support/check.hpp"
 
 namespace rise::sim {
 
@@ -64,18 +66,66 @@ class EventQueue {
   /// and pops without touching the allocator in steady state.
   void reset(Time max_delay, Mode mode = Mode::kAuto);
 
-  /// Preconditions: ev.t is never in the past (ev.t >= the time of the last
+  /// Preconditions: t is never in the past (t >= the time of the last
   /// popped event — enforced with an always-on check, since a stale push
   /// would silently land one ring lap late), and deliveries lie within
   /// (now, now + max_delay]. Arbitrary future times (adversary wake-ups)
-  /// are accepted.
-  void push(Event ev);
+  /// are accepted. Inline, and constructing the Event in place inside its
+  /// bucket — one emplace and one front/drop per simulated event is the
+  /// engine's innermost loop, and an Event is large enough (inline payload
+  /// included) that sparing the temporary-and-move shows up.
+  void emplace(Time t, std::uint64_t seq, EventKind kind, NodeId node,
+               Port port, Message msg) {
+    RISE_CHECK_MSG(t >= cursor_, "push at time "
+                                     << t << " precedes the cursor (" << cursor_
+                                     << ")");
+    ++size_;
+    if (buckets_on_ && t - cursor_ < num_buckets_) [[likely]] {
+      buckets_[t & mask_].emplace_back(t, seq, kind, node, port,
+                                       std::move(msg));
+      ++ring_size_;
+    } else {
+      emplace_overflow(t, seq, kind, node, port, std::move(msg));
+    }
+  }
+
+  void push(Event ev) {
+    emplace(ev.t, ev.seq, ev.kind, ev.node, ev.port, std::move(ev.msg));
+  }
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
+  /// The least event in (t, seq) order, in place. !empty() only. The
+  /// reference is valid until the next emplace/drop_front — callers copy the
+  /// scalars and steal the Message, then drop_front() *before* dispatching
+  /// handlers (which may push and reallocate the underlying storage).
+  Event& front() {
+    RISE_CHECK_MSG(size_ != 0, "pop on empty event queue");
+    if (!buckets_on_) return heap_.front();
+    auto& slot = buckets_[cursor_ & mask_];
+    if (cursor_pos_ < slot.size()) return slot[cursor_pos_];
+    return front_advance();
+  }
+
+  /// Discards front() (whose Message the caller has typically stolen).
+  void drop_front() {
+    --size_;
+    if (!buckets_on_) {
+      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      heap_.pop_back();
+      return;
+    }
+    ++cursor_pos_;
+    --ring_size_;
+  }
+
   /// Removes and returns the least event in (t, seq) order. !empty() only.
-  Event pop();
+  Event pop() {
+    Event ev = std::move(front());
+    drop_front();
+    return ev;
+  }
 
   bool using_buckets() const { return buckets_on_; }
 
@@ -86,8 +136,26 @@ class EventQueue {
   std::size_t overflow_occupancy() const { return heap_.size(); }
 
  private:
-  void heap_push(Event ev);
+  /// "a is processed after b" — strict weak order for min-heap-via-max-heap.
+  /// Compares only scalars, so it stays valid for events whose Message has
+  /// been stolen through front().
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
   Event heap_pop();
+  /// emplace's slow path: heap-mode storage or a beyond-horizon wake-up.
+  /// Out of line so the push_heap expansion doesn't price emplace out of
+  /// send_from's inlining budget.
+  void emplace_overflow(Time t, std::uint64_t seq, EventKind kind, NodeId node,
+                        Port port, Message msg);
+  /// front's slow path: the current bucket is drained — advance the cursor
+  /// (or leap over an idle gap to the overflow heap's front) until an event
+  /// surfaces.
+  Event& front_advance();
   /// Moves overflow events that entered the ring horizon into buckets.
   void migrate();
 

@@ -44,36 +44,41 @@ Instance Instance::create(graph::Graph g, const InstanceOptions& options,
   for (NodeId u = 0; u < n; ++u) inst.label_index_[inst.labels_[u]] = u;
   RISE_CHECK_MSG(inst.label_index_.size() == n, "node labels must be distinct");
 
-  // Adversarial port mappings.
-  inst.port_to_slot_.resize(n);
-  inst.slot_to_port_.resize(n);
-  for (NodeId u = 0; u < n; ++u) {
-    const auto deg = inst.graph_.degree(u);
-    if (options.random_ports) {
-      inst.port_to_slot_[u] = rng.permutation(deg);
-    } else {
-      inst.port_to_slot_[u].resize(deg);
-      std::iota(inst.port_to_slot_[u].begin(), inst.port_to_slot_[u].end(), 0u);
-    }
-    inst.slot_to_port_[u].assign(deg, kInvalidPort);
-    for (Port p = 0; p < deg; ++p) {
-      inst.slot_to_port_[u][inst.port_to_slot_[u][p]] = p;
-    }
-  }
-
-  // Flat directed-edge index: prefix degrees, then the precomputed reverse
-  // port of every link — the engines' per-send hot path reads these instead
-  // of binary-searching the adjacency list.
+  // Flat directed-edge index first: every per-link table is indexed by
+  // edge_base_[u] + p, so the engines' per-send hot path reads flat arrays
+  // instead of chasing per-node heap blocks.
   inst.edge_base_.resize(n + 1);
   inst.edge_base_[0] = 0;
   for (NodeId u = 0; u < n; ++u) {
     inst.edge_base_[u + 1] = inst.edge_base_[u] + inst.graph_.degree(u);
   }
-  inst.reverse_port_.resize(inst.edge_base_[n]);
+  const std::size_t links = inst.edge_base_[n];
+
+  // Adversarial port mappings (one rng.permutation draw per node, in node
+  // order — the draw sequence every existing seed-pinned test depends on).
+  inst.port_to_slot_.resize(links);
+  inst.slot_to_port_.assign(links, kInvalidPort);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto deg = inst.graph_.degree(u);
+    const std::size_t base = inst.edge_base_[u];
+    if (options.random_ports) {
+      const auto perm = rng.permutation(deg);
+      std::copy(perm.begin(), perm.end(), inst.port_to_slot_.begin() + base);
+    } else {
+      std::iota(inst.port_to_slot_.begin() + base,
+                inst.port_to_slot_.begin() + base + deg, 0u);
+    }
+    for (Port p = 0; p < deg; ++p) {
+      inst.slot_to_port_[base + inst.port_to_slot_[base + p]] = p;
+    }
+  }
+
+  // Precomputed reverse port of every link.
+  inst.reverse_port_.resize(links);
   for (NodeId u = 0; u < n; ++u) {
     const auto nb = inst.graph_.neighbors(u);
     for (Port p = 0; p < inst.graph_.degree(u); ++p) {
-      const NodeId v = nb[inst.port_to_slot_[u][p]];
+      const NodeId v = nb[inst.port_to_slot_[inst.edge_base_[u] + p]];
       inst.reverse_port_[inst.edge_base_[u] + p] = inst.neighbor_to_port(v, u);
     }
   }
@@ -84,17 +89,17 @@ Instance Instance::create(graph::Graph g, const InstanceOptions& options,
 
 void Instance::rebuild_label_views() {
   const NodeId n = num_nodes();
-  neighbor_labels_.assign(n, {});
+  neighbor_labels_.assign(edge_base_.empty() ? 0 : edge_base_.back(), 0);
   label_to_port_.clear();
   const bool kt1 = options_.knowledge == Knowledge::KT1;
   if (kt1) label_to_port_.resize(n);
   for (NodeId u = 0; u < n; ++u) {
     const auto deg = graph_.degree(u);
-    neighbor_labels_[u].resize(deg);
+    const std::size_t base = edge_base_[u];
     const auto nb = graph_.neighbors(u);
     for (Port p = 0; p < deg; ++p) {
-      const Label l = labels_[nb[port_to_slot_[u][p]]];
-      neighbor_labels_[u][p] = l;
+      const Label l = labels_[nb[port_to_slot_[base + p]]];
+      neighbor_labels_[base + p] = l;
       if (kt1) {
         const bool inserted = label_to_port_[u].emplace(l, p).second;
         RISE_CHECK_MSG(inserted, "node " << u << " has two neighbors with label "
@@ -132,22 +137,11 @@ NodeId Instance::node_of_label(Label l) const {
   return it->second;
 }
 
-NodeId Instance::port_to_neighbor(NodeId u, Port p) const {
-  RISE_CHECK_MSG(u < num_nodes() && p < graph_.degree(u),
-                 "bad port " << p << " at node " << u);
-  return graph_.neighbors(u)[port_to_slot_[u][p]];
-}
-
 Port Instance::neighbor_to_port(NodeId u, NodeId v) const {
   const auto slot = graph_.neighbor_slot(u, v);
   RISE_CHECK_MSG(slot.has_value(), "nodes " << u << " and " << v
                                             << " are not adjacent");
-  return slot_to_port_[u][*slot];
-}
-
-std::span<const Label> Instance::neighbor_labels_by_port(NodeId u) const {
-  RISE_CHECK(u < num_nodes());
-  return neighbor_labels_[u];
+  return slot_to_port_[edge_base_[u] + *slot];
 }
 
 std::uint64_t Instance::congest_bit_budget() const {

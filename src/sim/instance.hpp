@@ -15,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "sim/types.hpp"
 #include "support/bitio.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace rise::sim {
@@ -57,14 +58,22 @@ class Instance {
   Label label(NodeId u) const { return labels_[u]; }
   NodeId node_of_label(Label l) const;
 
-  /// The neighbor reached through port p of node u.
-  NodeId port_to_neighbor(NodeId u, Port p) const;
+  /// The neighbor reached through port p of node u. On the engines' per-send
+  /// hot path, so defined inline over the flat port permutation.
+  NodeId port_to_neighbor(NodeId u, Port p) const {
+    RISE_DCHECK(u < num_nodes() && p < graph_.degree(u));
+    return graph_.neighbors(u)[port_to_slot_[edge_base_[u] + p]];
+  }
 
   /// port^{-1}_u(v): the port at u whose link leads to neighbor v.
   Port neighbor_to_port(NodeId u, NodeId v) const;
 
   /// Neighbor labels of u indexed by *port* (KT1 initial knowledge).
-  std::span<const Label> neighbor_labels_by_port(NodeId u) const;
+  std::span<const Label> neighbor_labels_by_port(NodeId u) const {
+    RISE_DCHECK(u < num_nodes());
+    return {neighbor_labels_.data() + edge_base_[u],
+            static_cast<std::size_t>(graph_.degree(u))};
+  }
 
   /// Dense directed-edge numbering derived from the CSR graph: the pair
   /// (u, p) with p < deg(u) has index edge_base(u) + p. The engines key
@@ -117,13 +126,17 @@ class Instance {
   InstanceOptions options_;
   std::vector<Label> labels_;
   std::unordered_map<Label, NodeId> label_index_;
-  // Per node: port -> adjacency slot permutation and its inverse.
-  std::vector<std::vector<std::uint32_t>> port_to_slot_;
-  std::vector<std::vector<Port>> slot_to_port_;
-  std::vector<std::vector<Label>> neighbor_labels_;  // by port
-  // Flat directed-edge index (edge_base_ has n+1 prefix-degree entries) and
-  // the precomputed reverse ports, one per directed edge.
+  // Flat directed-edge index (edge_base_ has n+1 prefix-degree entries);
+  // every per-link table below is one flat array indexed by
+  // edge_base_[u] + p (or + slot), not a vector-of-vectors — at 10^6 nodes
+  // the nested form costs a million separate heap blocks and a second
+  // pointer chase on every per-send lookup.
   std::vector<std::size_t> edge_base_;
+  // Port -> adjacency slot permutation and its inverse, per node.
+  std::vector<std::uint32_t> port_to_slot_;
+  std::vector<Port> slot_to_port_;
+  std::vector<Label> neighbor_labels_;  // by port
+  // Precomputed reverse ports, one per directed edge.
   std::vector<Port> reverse_port_;
   // KT1 only: per-node label -> port, built once at construction so
   // send_to_label is O(1) instead of O(degree).

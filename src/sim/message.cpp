@@ -108,9 +108,7 @@ void PayloadWords::grow(std::uint32_t new_cap) {
   cap_ = new_cap;
 }
 
-void PayloadWords::release() {
-  if (!is_inline()) deallocate_words(heap_, cap_);
-}
+void PayloadWords::release_heap() { deallocate_words(heap_, cap_); }
 
 Message make_message(std::uint32_t type, PayloadWords payload,
                      std::uint64_t bits) {

@@ -110,8 +110,15 @@ class PayloadWords {
   void grow(std::uint32_t new_cap);
 
   /// Returns the heap buffer (if any) to the thread-local payload arena so
-  /// the next spill of the same size class skips the allocator.
-  void release();
+  /// the next spill of the same size class skips the allocator. Inline so
+  /// the overwhelmingly common inline-payload case (every flooding/gossip/
+  /// DFS-control message; one destructor call per delivery) is a branch,
+  /// not a cross-TU call.
+  void release() {
+    if (!is_inline()) release_heap();
+  }
+
+  void release_heap();
 
   /// Takes other's contents; leaves other empty and inline.
   void steal(PayloadWords& other) noexcept {

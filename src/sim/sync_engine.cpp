@@ -1,188 +1,9 @@
 #include "sim/sync_engine.hpp"
 
-#include <algorithm>
-#include <map>
-#include <set>
-#include <vector>
-
 #include "sim/engine_core.hpp"
-#include "support/check.hpp"
+#include "sim/engine_impl.hpp"
 
 namespace rise::sim {
-
-namespace {
-
-class SyncImpl;
-
-class SyncContext final : public CoreContext {
- public:
-  SyncContext(SyncImpl& engine, EngineCore& core)
-      : CoreContext(core), engine_(engine) {}
-
-  void send(Port p, Message msg) override;
-  Time now() const override;
-  std::uint64_t local_round() const override;
-  void request_tick() override;
-
- private:
-  SyncImpl& engine_;
-};
-
-class SyncImpl {
- public:
-  SyncImpl(const Instance& instance, const WakeSchedule& schedule,
-           std::uint64_t seed, const ProcessFactory& factory,
-           const SyncRunLimits& limits, TraceSink* trace, obs::Probe* probe,
-           RunWorkspace* workspace)
-      : core_(instance, /*tau=*/1, seed, factory, trace, probe, workspace),
-        limits_(limits),
-        ctx_(*this, core_),
-        workspace_(workspace),
-        probe_(probe) {
-    if (probe_ != nullptr) probe_->set_backend("sync");
-    const NodeId n = instance.num_nodes();
-    if (workspace_ != nullptr) {
-      wake_round_ = std::move(workspace_->wake_round);
-      inbox_ = std::move(workspace_->inbox);
-      next_inbox_ = std::move(workspace_->next_inbox);
-    }
-    wake_round_.assign(n, kNever);
-    reset_boxes(inbox_, n);
-    reset_boxes(next_inbox_, n);
-    for (const auto& [t, u] : schedule.wakes) {
-      RISE_CHECK(u < n);
-      pending_wakes_[t].push_back(u);
-    }
-  }
-
-  ~SyncImpl() {
-    if (workspace_ == nullptr) return;
-    workspace_->wake_round = std::move(wake_round_);
-    workspace_->inbox = std::move(inbox_);
-    workspace_->next_inbox = std::move(next_inbox_);
-  }
-
-  RunResult run() {
-    const NodeId n = core_.instance().num_nodes();
-    Metrics& metrics = core_.result().metrics;
-    for (round_ = 0;; ++round_) {
-      RISE_CHECK_MSG(round_ <= limits_.max_rounds,
-                     "sync engine exceeded max_rounds");
-      // 1. Deliver messages sent in the previous round.
-      std::swap(inbox_, next_inbox_);
-      for (auto& box : next_inbox_) box.clear();
-
-      // 2. Adversary wake-ups scheduled for this round.
-      std::vector<NodeId> active;
-      std::set<NodeId> adversary_woken;
-      if (const auto it = pending_wakes_.find(round_);
-          it != pending_wakes_.end()) {
-        for (NodeId u : it->second) {
-          active.push_back(u);
-          adversary_woken.insert(u);
-        }
-        pending_wakes_.erase(it);
-      }
-      for (NodeId u = 0; u < n; ++u) {
-        if (!inbox_[u].empty()) active.push_back(u);
-      }
-      for (NodeId u : tick_requests_) active.push_back(u);
-      tick_requests_.clear();
-
-      std::sort(active.begin(), active.end());
-      active.erase(std::unique(active.begin(), active.end()), active.end());
-
-      if (active.empty()) {
-        if (pending_wakes_.empty()) break;  // quiescent
-        // Fast-forward idle rounds to the next scheduled wake-up.
-        round_ = pending_wakes_.begin()->first - 1;
-        continue;
-      }
-
-      // 3. Step every active node.
-      for (NodeId u : active) {
-        ctx_.attach(u);
-        if (!core_.is_awake(u)) {
-          const WakeCause cause = adversary_woken.count(u)
-                                      ? WakeCause::kAdversary
-                                      : WakeCause::kMessage;
-          // local_round() must read 1 inside on_wake, so set the base first.
-          wake_round_[u] = round_;
-          core_.mark_awake(u, round_, cause);
-          core_.process(u).on_wake(ctx_, cause);
-          ctx_.attach(u);  // on_wake may not change it, but be explicit
-        }
-        if (!inbox_[u].empty()) {
-          core_.account_delivery(u, round_, inbox_[u].size());
-        }
-        core_.process(u).on_round(ctx_, inbox_[u]);
-        inbox_[u].clear();
-      }
-      metrics.events += active.size();
-      metrics.rounds = round_ + 1;
-      if (probe_ != nullptr) probe_->on_sync_round(active.size());
-    }
-    return core_.take_result();
-  }
-
-  void send_from(NodeId from, Port p, Message msg) {
-    const Instance& instance = core_.instance();
-    RISE_CHECK_MSG(p < instance.graph().degree(from),
-                   "send on invalid port " << p << " at node " << from);
-    core_.account_send(from, msg, round_);
-    RISE_CHECK_MSG(core_.result().metrics.messages <= limits_.max_messages,
-                   "sync engine exceeded max_messages");
-    const NodeId to = instance.port_to_neighbor(from, p);
-    if (core_.trace() != nullptr) {
-      core_.trace()->on_send(round_, from, to, msg);
-      core_.trace()->on_deliver(round_ + 1, from, to, msg);
-    }
-    const Port receiver_port = instance.reverse_port(from, p);
-    next_inbox_[to].push_back(Incoming{receiver_port, std::move(msg)});
-  }
-
-  Time round() const { return round_; }
-  std::uint64_t local_round(NodeId u) const {
-    return core_.is_awake(u) ? (round_ - wake_round_[u] + 1) : 0;
-  }
-  void request_tick(NodeId u) { tick_requests_.insert(u); }
-
- private:
-  /// Clears each recycled inbox (an aborted run can leave messages behind)
-  /// and sizes the vector for n nodes, keeping all inner capacity.
-  static void reset_boxes(std::vector<std::vector<Incoming>>& boxes,
-                          NodeId n) {
-    for (auto& box : boxes) box.clear();
-    boxes.resize(n);
-  }
-
-  EngineCore core_;
-  SyncRunLimits limits_;
-  SyncContext ctx_;
-  RunWorkspace* workspace_;
-  obs::Probe* probe_;
-
-  Time round_ = 0;
-  std::vector<Time> wake_round_;
-  std::vector<std::vector<Incoming>> inbox_;
-  std::vector<std::vector<Incoming>> next_inbox_;
-  std::map<Time, std::vector<NodeId>> pending_wakes_;
-  std::set<NodeId> tick_requests_;
-};
-
-void SyncContext::send(Port p, Message msg) {
-  engine_.send_from(node_, p, std::move(msg));
-}
-
-Time SyncContext::now() const { return engine_.round(); }
-
-std::uint64_t SyncContext::local_round() const {
-  return engine_.local_round(node_);
-}
-
-void SyncContext::request_tick() { engine_.request_tick(node_); }
-
-}  // namespace
 
 SyncEngine::SyncEngine(const Instance& instance, WakeSchedule schedule,
                        std::uint64_t seed)
@@ -190,9 +11,15 @@ SyncEngine::SyncEngine(const Instance& instance, WakeSchedule schedule,
 
 RunResult SyncEngine::run(const ProcessFactory& factory,
                           const SyncRunLimits& limits) {
-  SyncImpl impl(instance_, schedule_, seed_, factory, limits, trace_, probe_,
-                workspace_);
-  return impl.run();
+  // Runner before core teardown: inboxes go back to the workspace first,
+  // then the core's per-node tables (the historical hand-back order).
+  EngineCore core(instance_, /*tau=*/1, seed_, factory, trace_, probe_,
+                  workspace_);
+  internal::ProcessHandler handler{core};
+  internal::SyncRunner<internal::ProcessHandler> runner(handler, core,
+                                                        schedule_, limits,
+                                                        workspace_);
+  return runner.run();
 }
 
 RunResult run_sync(const Instance& instance, const WakeSchedule& schedule,

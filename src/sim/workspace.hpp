@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <typeinfo>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -49,6 +50,14 @@ struct RunWorkspace {
   std::vector<Time> wake_round;
   std::vector<std::vector<Incoming>> inbox;
   std::vector<std::vector<Incoming>> next_inbox;
+
+  // Kernel-path storage (sim/kernel.hpp): one type-tagged slot holding the
+  // current algorithm family's flat node-state vectors, so back-to-back
+  // kernel runs of the same family reuse their capacity. Switching families
+  // replaces the slot (campaigns run one family per campaign, so this never
+  // thrashes in practice).
+  std::shared_ptr<void> kernel_state;
+  const std::type_info* kernel_state_type = nullptr;
 
   /// Returns a finished run's per-node vectors (wake times, outputs, metrics
   /// counters) to the workspace so the next engine reuses their capacity.

@@ -31,19 +31,33 @@ namespace detail {
 }  // namespace detail
 }  // namespace rise
 
+/// The failure path of RISE_CHECK_MSG is outlined into a cold, noinline
+/// lambda: the ostringstream formatting code would otherwise be counted
+/// against the enclosing function's inlining budget at every check site,
+/// keeping per-event functions (EventQueue::push, send_from) out of the
+/// engines' loops.
+#if defined(__GNUC__) || defined(__clang__)
+#define RISE_COLD_PATH __attribute__((noinline, cold))
+#else
+#define RISE_COLD_PATH
+#endif
+
 #define RISE_CHECK(cond)                                              \
   do {                                                                \
-    if (!(cond))                                                      \
+    if (!(cond)) [[unlikely]]                                         \
       ::rise::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
   } while (0)
 
 #define RISE_CHECK_MSG(cond, msg)                                     \
   do {                                                                \
-    if (!(cond)) {                                                    \
-      std::ostringstream rise_check_os_;                              \
-      rise_check_os_ << msg;                                          \
-      ::rise::detail::check_failed(#cond, __FILE__, __LINE__,         \
-                                   rise_check_os_.str());             \
+    if (!(cond)) [[unlikely]] {                                       \
+      auto rise_check_fail_ = [&]() RISE_COLD_PATH {                  \
+        std::ostringstream rise_check_os_;                            \
+        rise_check_os_ << msg;                                        \
+        ::rise::detail::check_failed(#cond, __FILE__, __LINE__,       \
+                                     rise_check_os_.str());           \
+      };                                                              \
+      rise_check_fail_();                                             \
     }                                                                 \
   } while (0)
 

@@ -32,8 +32,8 @@ TEST(GraphSpec, GnpIsSeedDriven) {
   const auto g1 = parse_graph_spec("cgnp:50:0.1", a);
   const auto g2 = parse_graph_spec("cgnp:50:0.1", b);
   const auto g3 = parse_graph_spec("cgnp:50:0.1", c);
-  EXPECT_EQ(g1.edges(), g2.edges());
-  EXPECT_NE(g1.edges(), g3.edges());
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+  EXPECT_NE(g1.edge_list(), g3.edge_list());
 }
 
 TEST(GraphSpec, Errors) {

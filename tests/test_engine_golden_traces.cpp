@@ -130,8 +130,16 @@ void check_async_golden(const AsyncScenario& s, std::uint64_t golden_hash) {
 // staggered schedule wakes every node by adversary and the push budget
 // expires before any message crosses a channel, so its trace never
 // depended on the delay policy at all.
+//
+// Four hashes were regenerated again when the G(n,p) generators switched
+// from per-pair Bernoulli draws to geometric skipping (same distribution,
+// different rng consumption, so the same seeds legitimately produce
+// different graphs — the chi-square test in test_graph_generators pins the
+// distribution itself). The gossip scenario's hash was unaffected: its
+// round-driven algorithm sends nothing under the async engine, so the
+// digest observes only the schedule, never the topology.
 TEST(GoldenTraces, AsyncFloodingKt0RandomDelays) {
-  check_async_golden(flooding_scenario(), 14808672269368015146ULL);
+  check_async_golden(flooding_scenario(), 17321354922888636337ULL);
 }
 
 TEST(GoldenTraces, AsyncGossipSlowChannelsStaggeredWakeup) {
@@ -139,7 +147,7 @@ TEST(GoldenTraces, AsyncGossipSlowChannelsStaggeredWakeup) {
 }
 
 TEST(GoldenTraces, AsyncRankedDfsKt1RandomAwakeSet) {
-  check_async_golden(ranked_dfs_scenario(), 11055940047038463510ULL);
+  check_async_golden(ranked_dfs_scenario(), 1470553050188468364ULL);
 }
 
 TEST(GoldenTraces, SyncFlooding) {
@@ -153,7 +161,7 @@ TEST(GoldenTraces, SyncFlooding) {
   sim::CsvTraceSink sink(trace);
   const auto r = sim::run_sync(inst, sim::wake_single(3), 45,
                                algo::flooding_factory(), {}, &sink);
-  EXPECT_EQ(fnv1a(digest(r, trace.str())), 11908988713426104929ULL);
+  EXPECT_EQ(fnv1a(digest(r, trace.str())), 14962057253583692410ULL);
 }
 
 TEST(GoldenTraces, SyncGossipWithTicks) {
@@ -167,7 +175,7 @@ TEST(GoldenTraces, SyncGossipWithTicks) {
   sim::CsvTraceSink sink(trace);
   const auto r = sim::run_sync(inst, sim::wake_single(0), 46,
                                algo::push_gossip_factory(10), {}, &sink);
-  EXPECT_EQ(fnv1a(digest(r, trace.str())), 18132143164008904908ULL);
+  EXPECT_EQ(fnv1a(digest(r, trace.str())), 3706472348911091400ULL);
 }
 
 /// Property: on fresh random graphs (not pinned), the two timeline backends

@@ -1,0 +1,111 @@
+// The mmap graph cache must round-trip any graph bit-exactly and fail fast
+// on every corrupted or mismatched header field — a stale or foreign cache
+// file standing in silently for a different topology would poison every
+// digest downstream.
+#include "graph/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace rise::graph {
+namespace {
+
+class CacheFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "rise_graph_cache_test.rgc";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Overwrites `count` bytes at `offset` in the cache file.
+  void corrupt(std::size_t offset, const std::string& bytes) {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  return a.edge_list() == b.edge_list();
+}
+
+TEST_F(CacheFile, RoundTripsGeneratedGraph) {
+  Rng rng(11);
+  const Graph g = connected_gnp(200, 0.03, rng);
+  write_cache(path_, g, "cgnp:200:0.03");
+  const Graph loaded = load_cache(path_, "cgnp:200:0.03");
+  EXPECT_TRUE(same_graph(g, loaded));
+  // Degree / adjacency accessors work off the mapped arrays.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(loaded.degree(u), g.degree(u));
+  }
+  // Copies share the mapping and outlive the original.
+  Graph copy = loaded;
+  EXPECT_TRUE(same_graph(g, copy));
+}
+
+TEST_F(CacheFile, RoundTripsEmptyAndTinyGraphs) {
+  const Graph empty = Graph::from_edges(3, {});
+  write_cache(path_, empty, "empty");
+  EXPECT_EQ(load_cache(path_, "empty").num_edges(), 0u);
+  const Graph p = path(2);
+  write_cache(path_, p, "path:2");
+  EXPECT_TRUE(same_graph(p, load_cache(path_)));  // empty expected_spec: any
+}
+
+TEST_F(CacheFile, RejectsMissingFile) {
+  EXPECT_THROW(load_cache(path_, "x"), CheckError);
+}
+
+TEST_F(CacheFile, RejectsBadMagic) {
+  write_cache(path_, path(5), "path:5");
+  corrupt(0, "NOTAGRPH");
+  EXPECT_THROW(load_cache(path_, "path:5"), CheckError);
+}
+
+TEST_F(CacheFile, RejectsVersionMismatch) {
+  write_cache(path_, path(5), "path:5");
+  corrupt(8, std::string("\xff\x00\x00\x00", 4));
+  EXPECT_THROW(load_cache(path_, "path:5"), CheckError);
+}
+
+TEST_F(CacheFile, RejectsEndiannessMismatch) {
+  write_cache(path_, path(5), "path:5");
+  // A big-endian writer lays the 0x01020304 marker down as 01 02 03 04;
+  // native little-endian stores 04 03 02 01.
+  corrupt(12, std::string("\x01\x02\x03\x04", 4));
+  EXPECT_THROW(load_cache(path_, "path:5"), CheckError);
+}
+
+TEST_F(CacheFile, RejectsSpecMismatch) {
+  write_cache(path_, path(5), "path:5");
+  EXPECT_THROW(load_cache(path_, "path:6"), CheckError);
+}
+
+TEST_F(CacheFile, RejectsTruncatedFile) {
+  write_cache(path_, path(50), "path:50");
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents.resize(contents.size() / 2);
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.close();
+  EXPECT_THROW(load_cache(path_, "path:50"), CheckError);
+}
+
+}  // namespace
+}  // namespace rise::graph

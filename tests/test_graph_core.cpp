@@ -38,7 +38,7 @@ TEST(Graph, NeighborsSortedAndSlots) {
 
 TEST(Graph, EdgesNormalized) {
   const Graph g = Graph::from_edges(4, {{2, 0}, {3, 1}});
-  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+  for (const Edge& e : g.edge_list()) EXPECT_LT(e.u, e.v);
 }
 
 TEST(Graph, RejectsSelfLoop) {

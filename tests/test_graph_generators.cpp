@@ -89,6 +89,53 @@ TEST(Generators, GnpDensityMatchesP) {
   EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 150);
 }
 
+TEST(Generators, GnpGeometricSkipMatchesBernoulliDistribution) {
+  // Differential distribution pin for the geometric-skip sampler: each of
+  // the n(n-1)/2 pairs must still be included independently with probability
+  // p, exactly as the old per-pair coin-flip loop did (same seeds produce
+  // different graphs, so the *distribution* is what gets pinned). Counting
+  // per-pair inclusions over many seeds, (count - Sp)²/(Sp(1-p)) summed over
+  // pairs is approximately chi-square with T degrees of freedom; the bounds
+  // are ~±6 standard deviations, so a correct sampler passes with margin and
+  // a biased one (wrong skip law, off-by-one in the pair walk) lands far
+  // outside.
+  constexpr NodeId kN = 12;
+  constexpr double kP = 0.3;
+  constexpr int kSeeds = 400;
+  constexpr std::size_t kPairs = kN * (kN - 1) / 2;
+  std::vector<int> hits(kPairs, 0);
+  std::size_t total_edges = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(7000 + seed);
+    const Graph g = gnp(kN, kP, rng);
+    total_edges += g.num_edges();
+    g.for_each_edge([&](NodeId u, NodeId v) {
+      const std::size_t row_start = u * kN - u * (u + 1) / 2;
+      ++hits[row_start + (v - u - 1)];
+    });
+  }
+  const double mean = kSeeds * kP;
+  const double var = kSeeds * kP * (1.0 - kP);
+  double chi2 = 0.0;
+  for (int h : hits) {
+    const double d = h - mean;
+    chi2 += d * d / var;
+  }
+  // chi-square(66): mean 66, sd sqrt(132) ~ 11.5.
+  EXPECT_GT(chi2, 66.0 - 6 * 11.5);
+  EXPECT_LT(chi2, 66.0 + 6 * 11.5);
+  // Aggregate edge count sanity: binomial(S*T, p) with sd ~ 74.
+  EXPECT_NEAR(static_cast<double>(total_edges), kSeeds * kPairs * kP, 450);
+}
+
+TEST(Generators, GnpExtremeProbabilities) {
+  Rng rng(5);
+  EXPECT_EQ(gnp(50, 0.0, rng).num_edges(), 0u);
+  const Graph full = gnp(20, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 190u);
+  EXPECT_EQ(gnp(1, 0.5, rng).num_edges(), 0u);
+}
+
 TEST(Generators, ConnectedGnpIsConnected) {
   Rng rng(3);
   for (int i = 0; i < 5; ++i) {

@@ -70,7 +70,7 @@ TEST(PrunedHighGirth, LosesFewEdges) {
 TEST(PrunedHighGirth, StaysBipartite) {
   Rng rng(79);
   const auto bg = pruned_high_girth_bipartite(100, 5, 6, rng);
-  for (const Edge& e : bg.graph.edges()) {
+  for (const Edge& e : bg.graph.edge_list()) {
     EXPECT_LT(e.u, bg.left_size);
     EXPECT_GE(e.v, bg.left_size);
   }

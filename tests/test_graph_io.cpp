@@ -15,7 +15,7 @@ TEST(GraphIo, EdgeListRoundTrip) {
   const Graph g = connected_gnp(40, 0.1, rng);
   const Graph back = from_edge_list(to_edge_list(g));
   EXPECT_EQ(back.num_nodes(), g.num_nodes());
-  EXPECT_EQ(back.edges(), g.edges());
+  EXPECT_EQ(back.edge_list(), g.edge_list());
 }
 
 TEST(GraphIo, EdgeListPreservesIsolatedNodes) {

@@ -78,7 +78,7 @@ TEST_P(SeedSweep, GirthOfTreePlusOneEdgeIsCycleLength) {
   NodeId b = static_cast<NodeId>(rng.uniform(40));
   if (a == b || tree.has_edge(a, b)) return;  // skip degenerate draw
   const auto dist = bfs_distances(tree, a);
-  auto edges = tree.edges();
+  auto edges = tree.edge_list();
   edges.push_back({a, b});
   const Graph g = Graph::from_edges(40, std::move(edges));
   EXPECT_EQ(girth(g), dist[b] + 1);
@@ -115,7 +115,7 @@ TEST(GraphProperties, ConnectedComponentsPartition) {
   const Graph g = gnp(80, 0.02, rng);
   const auto comp = connected_components(g);
   // Edges never cross components.
-  for (const Edge& e : g.edges()) EXPECT_EQ(comp[e.u], comp[e.v]);
+  for (const Edge& e : g.edge_list()) EXPECT_EQ(comp[e.u], comp[e.v]);
   // Component ids are dense 0..max.
   const auto max_id = *std::max_element(comp.begin(), comp.end());
   std::vector<bool> seen(max_id + 1, false);

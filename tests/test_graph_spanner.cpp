@@ -85,7 +85,7 @@ TEST(VerifySpanner, RejectsNonSubgraph) {
 TEST(VerifySpanner, RejectsExcessiveStretch) {
   const Graph g = cycle(12);
   // Remove one edge: stretch for that edge becomes 11.
-  std::vector<Edge> edges = g.edges();
+  std::vector<Edge> edges = g.edge_list();
   edges.pop_back();
   const Graph s = Graph::from_edges(12, std::move(edges));
   EXPECT_FALSE(verify_spanner(g, s, 3));

@@ -1,0 +1,205 @@
+// Kernel-vs-Process differential suite (PR 7).
+//
+// Every algorithm family that ships a flat kernel (sim/kernel.hpp) must be
+// *bit-identical* to its virtual-Process twin: same RNG draws, same message
+// encodings, same trace, same metrics. These tests pin that equivalence by
+// running each family through app::execute_prepared twice — once on the
+// kernel path (the default) and once with RunInstruments::
+// use_virtual_processes — and comparing full-run digests: the complete CSV
+// trace plus wake times, outputs, and every metrics counter.
+//
+// Coverage axes: all five algorithm families and all four advice schemes,
+// both engines (native plus force_sync_engine for the asynchronous ones),
+// both event-queue backends, and dirty-workspace reuse — a single
+// RunWorkspace threaded through interleaved kernel/process runs of
+// *different* families, which exercises the typeid-tagged kernel-state slot
+// and the recycled Process vector side by side.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/spec.hpp"
+#include "sim/trace.hpp"
+#include "sim/workspace.hpp"
+
+namespace {
+
+using namespace rise;
+
+/// Serializes everything observable about a run (same notion of
+/// "bit-identical" as test_engine_golden_traces).
+std::string digest(const sim::RunResult& r, const std::string& trace) {
+  std::ostringstream os;
+  os << trace << "|";
+  for (auto t : r.wake_time) os << t << ",";
+  os << "|";
+  for (auto o : r.outputs) os << o << ",";
+  os << "|" << r.metrics.messages << "," << r.metrics.bits << ","
+     << r.metrics.deliveries << "," << r.metrics.events << ","
+     << r.metrics.first_wake << "," << r.metrics.last_wake << ","
+     << r.metrics.last_delivery << "," << r.metrics.rounds << ","
+     << r.metrics.tau;
+  for (auto v : r.metrics.sent_per_node) os << "," << v;
+  for (auto v : r.metrics.received_per_node) os << "," << v;
+  return os.str();
+}
+
+struct RunConfig {
+  bool use_virtual_processes = false;
+  sim::EventQueue::Mode queue_mode = sim::EventQueue::Mode::kAuto;
+  bool force_sync_engine = false;
+  sim::RunWorkspace* workspace = nullptr;
+};
+
+std::string run_digest(const app::ExperimentSpec& spec,
+                       const RunConfig& config) {
+  std::ostringstream trace;
+  sim::CsvTraceSink sink(trace);
+  app::RunInstruments instruments;
+  instruments.trace = &sink;
+  instruments.queue_mode = config.queue_mode;
+  instruments.force_sync_engine = config.force_sync_engine;
+  instruments.use_virtual_processes = config.use_virtual_processes;
+  const app::PreparedExperiment prepared = app::prepare_experiment(spec);
+  const app::ExperimentReport report =
+      app::execute_prepared(prepared, spec, instruments, config.workspace);
+  return digest(report.result, trace.str());
+}
+
+app::ExperimentSpec make_spec(const std::string& algorithm,
+                              std::uint64_t seed) {
+  app::ExperimentSpec spec;
+  spec.graph = "cgnp:48:0.12";
+  spec.schedule = "staggered:3:2";
+  spec.delay = "random:4";  // ignored by synchronous algorithms
+  spec.algorithm = algorithm;
+  spec.seed = seed;
+  return spec;
+}
+
+const std::vector<std::string> kAsyncFamilies = {
+    "flooding",   "ranked_dfs", "ranked_dfs_nodiscard",
+    "ranked_dfs_congest", "leader"};
+
+const std::vector<std::string> kAdviceSchemes = {"fip06", "sqrt", "cen",
+                                                 "cen_chain", "spanner:2",
+                                                 "cor2"};
+
+const std::vector<std::string> kSyncFamilies = {"fast_wakeup", "gossip:3"};
+
+TEST(SimKernels, AsyncFamiliesMatchVirtualPath) {
+  for (const auto& algo : kAsyncFamilies) {
+    for (std::uint64_t seed : {3u, 11u}) {
+      const auto spec = make_spec(algo, seed);
+      for (auto mode : {sim::EventQueue::Mode::kBuckets,
+                        sim::EventQueue::Mode::kHeap}) {
+        RunConfig kernel{/*use_virtual_processes=*/false, mode};
+        RunConfig process{/*use_virtual_processes=*/true, mode};
+        EXPECT_EQ(run_digest(spec, kernel), run_digest(spec, process))
+            << algo << " seed=" << seed
+            << " mode=" << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+TEST(SimKernels, AdviceSchemesMatchVirtualPath) {
+  for (const auto& algo : kAdviceSchemes) {
+    const auto spec = make_spec(algo, 5);
+    for (auto mode :
+         {sim::EventQueue::Mode::kBuckets, sim::EventQueue::Mode::kHeap}) {
+      RunConfig kernel{/*use_virtual_processes=*/false, mode};
+      RunConfig process{/*use_virtual_processes=*/true, mode};
+      EXPECT_EQ(run_digest(spec, kernel), run_digest(spec, process))
+          << algo << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(SimKernels, SyncFamiliesMatchVirtualPath) {
+  for (const auto& algo : kSyncFamilies) {
+    for (std::uint64_t seed : {3u, 11u}) {
+      const auto spec = make_spec(algo, seed);
+      RunConfig kernel;
+      RunConfig process;
+      process.use_virtual_processes = true;
+      EXPECT_EQ(run_digest(spec, kernel), run_digest(spec, process))
+          << algo << " seed=" << seed;
+    }
+  }
+}
+
+// The fuzzer's unit-delay differential runs message-driven algorithms on
+// the lock-step engine; the kernel path must agree there too (this is the
+// kernels' on_round forwarding).
+TEST(SimKernels, ForcedSyncEngineMatchesVirtualPath) {
+  for (const auto& algo :
+       {std::string("flooding"), std::string("cen"), std::string("cor2")}) {
+    auto spec = make_spec(algo, 7);
+    spec.delay = "unit";
+    RunConfig kernel;
+    kernel.force_sync_engine = true;
+    RunConfig process = kernel;
+    process.use_virtual_processes = true;
+    EXPECT_EQ(run_digest(spec, kernel), run_digest(spec, process)) << algo;
+  }
+}
+
+// One workspace threaded through interleaved runs of different families and
+// both execution paths: the typeid-tagged kernel-state slot must swap types
+// safely, recycled Process objects must survive interleaved kernel runs,
+// and every dirty-workspace digest must equal its fresh-run counterpart.
+TEST(SimKernels, DirtyWorkspaceReuseIsBitIdentical) {
+  struct Step {
+    std::string algo;
+    bool use_virtual_processes;
+  };
+  const std::vector<Step> steps = {
+      {"flooding", false},  {"ranked_dfs", false}, {"flooding", true},
+      {"ranked_dfs", true}, {"cen", false},        {"flooding", false},
+      {"fast_wakeup", false}, {"gossip:3", false}, {"flooding", false},
+  };
+  sim::RunWorkspace workspace;
+  for (const auto& step : steps) {
+    const auto spec = make_spec(step.algo, 9);
+    RunConfig dirty;
+    dirty.use_virtual_processes = step.use_virtual_processes;
+    dirty.workspace = &workspace;
+    RunConfig fresh;
+    fresh.use_virtual_processes = step.use_virtual_processes;
+    EXPECT_EQ(run_digest(spec, dirty), run_digest(spec, fresh))
+        << step.algo << " virtual=" << step.use_virtual_processes;
+  }
+}
+
+// Families without a kernel (diagnostic lb algorithms) must fall back to
+// the Process path transparently.
+TEST(SimKernels, KernellessFamiliesStillRun) {
+  auto spec = make_spec("ttl:4", 3);
+  const app::PreparedExperiment prepared = app::prepare_experiment(spec);
+  EXPECT_FALSE(static_cast<bool>(prepared.kernel));
+  RunConfig plain;
+  EXPECT_FALSE(run_digest(spec, plain).empty());
+}
+
+TEST(SimKernels, KernelIsWiredForEveryMainFamily) {
+  for (const auto& algo : kAsyncFamilies) {
+    EXPECT_TRUE(static_cast<bool>(
+        app::prepare_experiment(make_spec(algo, 1)).kernel))
+        << algo;
+  }
+  for (const auto& algo : kAdviceSchemes) {
+    EXPECT_TRUE(static_cast<bool>(
+        app::prepare_experiment(make_spec(algo, 1)).kernel))
+        << algo;
+  }
+  for (const auto& algo : kSyncFamilies) {
+    EXPECT_TRUE(static_cast<bool>(
+        app::prepare_experiment(make_spec(algo, 1)).kernel))
+        << algo;
+  }
+}
+
+}  // namespace

@@ -87,7 +87,7 @@ TEST(TraceProperties, SpannerTrafficStaysOnSpannerEdges) {
   advice::apply_oracle(inst, *advice::spanner_oracle(3));
   const auto spanner = graph::greedy_spanner(g, 3);
   std::set<std::pair<graph::NodeId, graph::NodeId>> spanner_edges;
-  for (const auto& e : spanner.edges()) spanner_edges.insert({e.u, e.v});
+  for (const auto& e : spanner.edge_list()) spanner_edges.insert({e.u, e.v});
   sim::EdgeUsageSink sink;
   const auto delays = sim::unit_delay();
   const auto result = sim::run_async(inst, *delays, sim::wake_all(80), 1,

@@ -113,7 +113,9 @@ void usage() {
       " base, base+1, ... for reproducing pre-campaign sweeps)\n\n"
       "spec grammars (see src/app/spec.hpp for the full list):\n"
       "  graph:    gnp:N:P | cgnp:N:P | grid:RxC | torus:RxC | star:N |\n"
-      "            regular:N:D | dkq:K:Q | kt0family:N | kt1family:K:Q | ...\n"
+      "            regular:N:D | dkq:K:Q | kt0family:N | kt1family:K:Q |\n"
+      "            cache:PATH:INNERSPEC (mmap INNERSPEC from PATH, building\n"
+      "            and writing the binary cache on first use) | ...\n"
       "  schedule: single[:NODE] | all | set:a,b,c | random:P |\n"
       "            staggered:GAP:GROWTH | dominating\n"
       "  delay:    unit | fixed:TAU | random:TAU | slow:TAU:ONE_IN |\n"
