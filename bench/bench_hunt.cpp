@@ -1,0 +1,100 @@
+// Hunt-throughput micro-benchmark: evaluations per second of the adversary
+// search driver's hot path (prepared configs + per-worker workspaces), at a
+// configuration shaped like the CI hunt gate but smaller.
+//
+// Each case runs run_hunt twice with identical options, best-of-N wall
+// clock; the two reports must agree on champion spec, value, and digest
+// (the hunt determinism contract), and the binary exits 1 on any mismatch —
+// so the bench doubles as a cheap end-to-end determinism gate.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+#include "search/hunt.hpp"
+
+namespace {
+
+using namespace rise;
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+struct Case {
+  const char* name;
+  const char* graph;
+  const char* algorithm;
+  search::Objective objective;
+};
+
+bool reports_agree(const search::HuntReport& a, const search::HuntReport& b) {
+  return a.champion.spec.graph == b.champion.spec.graph &&
+         a.champion.spec.schedule == b.champion.spec.schedule &&
+         a.champion.spec.delay == b.champion.spec.delay &&
+         a.champion.spec.seed == b.champion.spec.seed &&
+         a.champion_value == b.champion_value &&
+         a.champion_digest == b.champion_digest;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Case> cases = {
+      {"flooding_messages", "cgnp:64:0.1", "flooding",
+       search::Objective::kMessages},
+      {"fip06_messages", "cgnp:64:0.1", "fip06",
+       search::Objective::kMessages},
+      {"flooding_rho_awk", "cgnp:64:0.1", "flooding",
+       search::Objective::kRhoAwk},
+  };
+
+  std::printf("%-20s %10s %10s %12s %12s %8s\n", "case", "evals", "wall_ms",
+              "evals_per_s", "champion", "ratio");
+  bool deterministic = true;
+  for (const Case& c : cases) {
+    search::HuntOptions options;
+    options.initial.spec.graph = c.graph;
+    options.initial.spec.schedule = "single";
+    options.initial.spec.algorithm = c.algorithm;
+    options.initial.spec.delay = "unit";
+    options.initial.spec.seed = 1;
+    options.objective = c.objective;
+    options.budget = 128;
+    options.lambda = 8;
+    options.seed = 42;
+    options.jobs = 1;
+    options.baseline = false;
+    options.limits.max_nodes = 128;
+
+    double best_ms = 0.0;
+    search::HuntReport first;
+    for (int rep = 0; rep < 2; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      search::HuntReport report = search::run_hunt(options);
+      const double ms = ms_between(t0, Clock::now());
+      if (rep == 0) {
+        best_ms = ms;
+        first = std::move(report);
+      } else {
+        if (ms < best_ms) best_ms = ms;
+        if (!reports_agree(first, report)) {
+          std::printf("FAIL %s: repeated hunts disagree\n", c.name);
+          deterministic = false;
+        }
+      }
+    }
+    const double evals_per_s =
+        best_ms > 0.0
+            ? static_cast<double>(first.evaluations) / (best_ms / 1000.0)
+            : 0.0;
+    std::printf("%-20s %10llu %10.1f %12.0f %12.0f %8.3f\n", c.name,
+                static_cast<unsigned long long>(first.evaluations), best_ms,
+                evals_per_s, first.champion_value, first.envelope_ratio());
+  }
+  if (!deterministic) return 1;
+  std::printf("determinism: repeated hunts bit-identical\n");
+  return 0;
+}

@@ -558,6 +558,7 @@ obs::RunProfile take_run_profile(obs::Probe& probe,
   profile.seed = spec.seed;
   profile.num_nodes = report.num_nodes;
   profile.num_edges = report.num_edges;
+  profile.rho_awk = report.rho_awk;
   profile.synchronous = report.synchronous;
   return profile;
 }

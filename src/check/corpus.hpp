@@ -1,0 +1,66 @@
+// Regression-scenario corpus: worst-case scenarios found by the search
+// driver (src/search), persisted as one line each and replayed bit-exactly.
+//
+// A corpus entry is a fully-specified Scenario plus the digest_run() value
+// its production replay produced when it was recorded. Replaying an entry
+// through run_checked() must (a) be clean — no invariant violations, no
+// engine errors — and (b) reproduce the recorded digest bit for bit; any
+// drift means an engine change altered observable behaviour on a scenario
+// that once witnessed an empirical worst case.
+//
+// File format (version-tagged, line-oriented, diff-friendly):
+//   # rise-corpus v1
+//   graph=cgnp:256:0.05 schedule=staggered:24:2.5 algo=flooding
+//       delay=random:12 seed=123 family=flooding objective=messages
+//       value=12345 digest=1a2b3c4d5e6f7081
+// (shown wrapped here; a real entry is ONE line. '#' lines and blank lines
+// are ignored). Spec strings never contain spaces, so tokens are
+// space-separated key=value pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scenario.hpp"
+
+namespace rise::check {
+
+struct CorpusEntry {
+  Scenario scenario;
+  std::string objective;  ///< objective name when recorded by a hunt ("" ok)
+  double value = 0.0;     ///< recorded objective value
+  std::uint64_t digest = 0;  ///< digest_run of the recorded production run
+};
+
+/// One-line serialization (no trailing newline). Inverse of
+/// parse_corpus_line.
+std::string corpus_line(const CorpusEntry& entry);
+
+/// Parses one entry line. CheckError on malformed lines.
+CorpusEntry parse_corpus_line(const std::string& line);
+
+/// Loads every entry of a corpus file; '#' comment lines and blank lines are
+/// skipped. CheckError when the file cannot be read or a line is malformed.
+std::vector<CorpusEntry> load_corpus(const std::string& path);
+
+/// Appends one entry (creating the file with a header when absent).
+/// CheckError when the file cannot be written.
+void append_corpus(const std::string& path, const CorpusEntry& entry);
+
+struct CorpusReplayReport {
+  std::size_t entries = 0;
+  std::size_t clean = 0;           ///< replays with no violations or errors
+  std::size_t digest_matches = 0;  ///< replays reproducing the recorded digest
+  std::vector<std::string> failures;  ///< human-readable, entry order
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Replays every entry through run_checked on the production configuration
+/// and verifies cleanliness + digest stability.
+CorpusReplayReport replay_corpus(const std::vector<CorpusEntry>& entries);
+
+std::string format_corpus_replay(const CorpusReplayReport& report);
+
+}  // namespace rise::check

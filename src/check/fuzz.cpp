@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "check/corpus.hpp"
 #include "check/shrink.hpp"
 #include "runner/thread_pool.hpp"
 #include "support/check.hpp"
@@ -118,6 +119,37 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
   FuzzReport report;
   report.trials = options.trials;
 
+  // Regression corpus first (serial; entry order is load order): every
+  // recorded worst case must still replay clean and digest-stable before any
+  // fresh sampling happens.
+  for (const std::string& path : options.corpus) {
+    for (const CorpusEntry& entry : load_corpus(path)) {
+      const std::uint64_t index = report.corpus_entries++;
+      const CheckedRun run = run_checked(entry.scenario);
+      std::vector<std::string> details;
+      if (!run.error.empty()) {
+        details.push_back("replay errored: " + run.error);
+      }
+      for (const std::string& v : run.violations) details.push_back(v);
+      if (run.error.empty() && run.digest != entry.digest) {
+        details.push_back("digest drift: recorded " + hex(entry.digest) +
+                          ", replay " + hex(run.digest));
+      }
+      if (details.empty()) continue;
+      ++report.corpus_failures;
+      if (report.failures.size() >= options.max_failures) continue;
+      FuzzFailure f;
+      f.trial = index;
+      f.scenario = entry.scenario;
+      f.shrunk = entry.scenario;  // corpus entries are kept verbatim
+      f.shrunk_nodes = run.report.num_nodes;
+      f.kind = "corpus-divergence";
+      f.details = std::move(details);
+      f.repro = repro_command(entry.scenario);
+      report.failures.push_back(std::move(f));
+    }
+  }
+
   std::vector<Scenario> scenarios;
   scenarios.reserve(options.trials);
   for (std::uint64_t i = 0; i < options.trials; ++i) {
@@ -206,6 +238,11 @@ std::string format_fuzz(const FuzzReport& report) {
      << " bucket-vs-heap, " << report.sync_differentials
      << " async-vs-lock-step, " << report.determinism_replays
      << " determinism replay(s)\n";
+  if (report.corpus_entries > 0) {
+    os << "  corpus: " << report.corpus_entries << " entr"
+       << (report.corpus_entries == 1 ? "y" : "ies") << " replayed, "
+       << report.corpus_failures << " diverging\n";
+  }
   if (report.threads_verified) {
     os << "  1-vs-" << report.jobs
        << "-thread serial replay: digest-identical\n";

@@ -38,6 +38,11 @@ struct FuzzOptions {
   /// require digest-identical results (the 1-vs-N-threads differential).
   bool verify_threads = true;
   std::size_t max_failures = 8;  ///< failures recorded in full detail
+  /// Regression-corpus files (check/corpus.hpp; typically tests/corpus/*)
+  /// replayed before the sampled trials. An entry whose checked replay is
+  /// unclean or whose digest drifts from the recorded one is a
+  /// "corpus-divergence" failure.
+  std::vector<std::string> corpus;
 };
 
 struct FuzzFailure {
@@ -47,7 +52,8 @@ struct FuzzFailure {
                             ///< shrinking is off or made no progress)
   std::uint32_t shrunk_nodes = 0;  ///< node count of the shrunk scenario
   std::string kind;  ///< "violation" | "error" | "queue-divergence" |
-                     ///< "sync-divergence" | "nondeterminism"
+                     ///< "sync-divergence" | "nondeterminism" |
+                     ///< "corpus-divergence"
   std::vector<std::string> details;
   std::string repro;  ///< repro_command(shrunk)
 };
@@ -58,11 +64,13 @@ struct FuzzReport {
   std::uint64_t queue_differentials = 0;  ///< bucket-vs-heap comparisons run
   std::uint64_t sync_differentials = 0;   ///< async-vs-lock-step comparisons
   std::uint64_t determinism_replays = 0;  ///< sync same-config replays
+  std::uint64_t corpus_entries = 0;       ///< regression entries replayed
+  std::uint64_t corpus_failures = 0;      ///< entries unclean or digest-drifted
   std::size_t jobs = 1;                   ///< resolved worker count
   bool threads_verified = false;  ///< serial re-run matched digest-for-digest
   std::vector<FuzzFailure> failures;  ///< first max_failures, trial order
 
-  bool ok() const { return failing_trials == 0; }
+  bool ok() const { return failing_trials == 0 && corpus_failures == 0; }
 };
 
 FuzzReport run_fuzz(const FuzzOptions& options = {});

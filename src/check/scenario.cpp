@@ -20,8 +20,11 @@ std::string fmt(double v) {
 
 std::string fmt(std::uint64_t v) { return std::to_string(v); }
 
-/// Uniform in [lo, hi] inclusive.
+/// Uniform in [lo, hi] inclusive. An inverted range (hi < lo, possible when
+/// a caller derives hi from a small max_nodes) collapses to lo instead of
+/// wrapping `hi - lo + 1` around to a huge bound and sampling absurd sizes.
 std::uint64_t pick(Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  if (hi <= lo) return lo;
   return lo + rng.uniform(hi - lo + 1);
 }
 
@@ -62,10 +65,12 @@ std::string sample_graph(Rng& rng, sim::NodeId max_nodes,
       return "cgnp:" + fmt(pick(rng, 8, n_max)) + ":" +
              fmt(0.03 + 0.25 * rng.uniform_real());
     case 9: {
-      // Configuration model needs n*d even and d < n.
+      // Configuration model needs n*d even and d < n. The parity fix steps
+      // n *down* so the sampled size never exceeds max_nodes (an odd product
+      // means n and d are both odd, so n-1 >= d+1 > d keeps it valid).
       const std::uint64_t d = pick(rng, 2, 5);
       std::uint64_t n = pick(rng, d + 2, n_max);
-      if (n * d % 2 != 0) ++n;
+      if (n * d % 2 != 0) --n;
       return "regular:" + fmt(n) + ":" + fmt(d);
     }
     case 10:

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "support/check.hpp"
@@ -42,6 +44,12 @@ bool is_number(const std::string& s) {
 
 std::uint64_t halved(std::uint64_t v, std::uint64_t floor) {
   return std::max(floor, v / 2);
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
 }
 
 /// Candidates for one graph spec: each numeric field halved toward its
@@ -114,6 +122,48 @@ std::vector<std::string> graph_candidates(const std::string& spec) {
   return out;
 }
 
+/// Candidates for a wake-schedule spec: "single" first (the most aggressive
+/// step), then in-family reductions — staggered:k:f halves its gap toward 1
+/// and its growth toward 1.2 (the generator's own floor, and safely above
+/// the >= 1 the staggered construction requires), set:a,b,c drops one member
+/// per candidate while at least one remains.
+std::vector<std::string> schedule_candidates(const std::string& spec) {
+  std::vector<std::string> out;
+  if (spec == "single") return out;
+  out.push_back("single");
+  std::vector<std::string> parts = split(spec, ':');
+  if (parts[0] == "staggered" && parts.size() == 3) {
+    if (is_number(parts[1])) {
+      const std::uint64_t k = std::stoull(parts[1]);
+      const std::uint64_t k2 = halved(k, 1);
+      if (k2 != k) {
+        out.push_back("staggered:" + std::to_string(k2) + ":" + parts[2]);
+      }
+    }
+    try {
+      const double growth = std::stod(parts[2]);
+      const double g2 = std::max(1.2, growth / 2.0);
+      if (g2 < growth - 1e-9) {
+        out.push_back("staggered:" + parts[1] + ":" + fmt(g2));
+      }
+    } catch (const std::exception&) {
+      // non-numeric growth: leave it to the swap-to-single candidate
+    }
+  } else if (parts[0] == "set" && parts.size() == 2) {
+    const std::vector<std::string> members = split(parts[1], ',');
+    if (members.size() > 1) {
+      for (std::size_t drop = 0; drop < members.size(); ++drop) {
+        std::vector<std::string> kept;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          if (i != drop) kept.push_back(members[i]);
+        }
+        out.push_back("set:" + join(kept, ','));
+      }
+    }
+  }
+  return out;
+}
+
 /// Candidates for a delay spec: "unit" first, then each numeric field halved
 /// (tau toward 1; slow's ONE_IN toward 2).
 std::vector<std::string> delay_candidates(const std::string& spec) {
@@ -139,20 +189,24 @@ std::vector<std::string> delay_candidates(const std::string& spec) {
   return out;
 }
 
+/// Memo key for a candidate: the three spec strings that shrinking varies
+/// (algorithm and seed are held fixed, so this identifies the scenario).
+std::string candidate_key(const Scenario& s) {
+  return s.spec.graph + '|' + s.spec.schedule + '|' + s.spec.delay;
+}
+
 }  // namespace
 
 std::vector<Scenario> shrink_candidates(const Scenario& s) {
   std::vector<Scenario> out;
-  auto with_graph = [&](const std::string& g) {
+  for (const std::string& g : graph_candidates(s.spec.graph)) {
     Scenario c = s;
     c.spec.graph = g;
     out.push_back(std::move(c));
-  };
-  for (const std::string& g : graph_candidates(s.spec.graph)) with_graph(g);
-
-  if (s.spec.schedule != "single") {
+  }
+  for (const std::string& w : schedule_candidates(s.spec.schedule)) {
     Scenario c = s;
-    c.spec.schedule = "single";
+    c.spec.schedule = w;
     out.push_back(std::move(c));
   }
   for (const std::string& d : delay_candidates(s.spec.delay)) {
@@ -173,11 +227,22 @@ ShrinkResult shrink_scenario(
   RISE_CHECK_MSG(still_fails(failing),
                  "shrink_scenario: the input scenario does not fail");
 
+  // Candidate specs already rejected anywhere in this shrink. When an
+  // accepted step stays within one component (e.g. a delay-halving chain),
+  // the restart re-proposes the other candidates of that component verbatim
+  // — the swap-to-"unit" candidate after every accepted halving, say.
+  // Skipping those spends max_evaluations on new candidates only.
+  std::unordered_set<std::string> rejected;
   bool improved = true;
   while (improved && res.evaluations < options.max_evaluations) {
     improved = false;
     for (const Scenario& cand : shrink_candidates(res.scenario)) {
       if (res.evaluations >= options.max_evaluations) break;
+      std::string key = candidate_key(cand);
+      if (rejected.count(key) != 0) {
+        ++res.memo_skips;
+        continue;
+      }
       ++res.evaluations;
       if (still_fails(cand)) {
         res.scenario = cand;
@@ -185,6 +250,7 @@ ShrinkResult shrink_scenario(
         improved = true;
         break;  // restart from the simplified scenario
       }
+      rejected.insert(std::move(key));
     }
   }
   return res;

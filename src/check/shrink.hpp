@@ -1,12 +1,21 @@
 // Greedy scenario shrinking: given a failing scenario and a predicate that
-// re-runs it, repeatedly try simpler variants (smaller graph, single wake,
-// unit delays) and keep any that still fails. The result is the smallest
-// scenario the greedy pass can reach — typically a handful of nodes — whose
-// repro_command() is a self-contained one-liner.
+// re-runs it, repeatedly try simpler variants (smaller graph, simpler wake
+// schedule, unit delays) and keep any that still fails. The result is the
+// smallest scenario the greedy pass can reach — typically a handful of nodes
+// — whose repro_command() is a self-contained one-liner.
 //
 // Shrinking mutates only the *spec strings*; the algorithm and seed are kept
 // fixed so the repro stays in the same algorithm family and remains fully
 // deterministic.
+//
+// Size order. Every candidate changes exactly one spec component and
+// strictly decreases that component's weight, leaving the other two
+// untouched — so candidates are strictly smaller under the component-wise
+// order. The weights (pinned by test_check_shrink's property suite):
+//   * graph:    sum of the spec's numeric fields (RxC dims included);
+//   * schedule: 0 for "single"; otherwise 1 + the sum of numeric fields +
+//               the number of set members;
+//   * delay:    0 for "unit"; otherwise 1 + the sum of numeric fields.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +34,7 @@ struct ShrinkResult {
   Scenario scenario;             ///< smallest still-failing scenario reached
   std::size_t evaluations = 0;   ///< predicate calls spent
   std::size_t steps = 0;         ///< accepted simplifications
+  std::size_t memo_skips = 0;    ///< candidates skipped as already rejected
 };
 
 /// Candidate one-step simplifications of a scenario, most aggressive first.
@@ -33,6 +43,14 @@ std::vector<Scenario> shrink_candidates(const Scenario& s);
 
 /// Greedy fixed-point shrink. `still_fails` must return true for `failing`
 /// itself (checked); the returned scenario satisfies it too.
+///
+/// The scan restarts from the most aggressive candidate after every accepted
+/// step, but a candidate spec rejected earlier in the shrink is never
+/// re-evaluated: candidate results are memoized by spec, so the
+/// max_evaluations budget is spent on new candidates only. This assumes
+/// `still_fails` is a deterministic function of the scenario — which the
+/// greedy fixed point already requires to terminate meaningfully, and which
+/// every run_checked-based predicate satisfies.
 ShrinkResult shrink_scenario(
     const Scenario& failing,
     const std::function<bool(const Scenario&)>& still_fails,

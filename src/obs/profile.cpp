@@ -135,6 +135,7 @@ void write_profile(json::Writer& w, const RunProfile& p) {
   w.kv("seed", p.seed);
   w.kv("num_nodes", p.num_nodes);
   w.kv("num_edges", p.num_edges);
+  w.kv("rho_awk", p.rho_awk);
   w.kv("synchronous", p.synchronous);
 
   w.key("totals").begin_object();
@@ -259,6 +260,7 @@ RunProfile profile_from_json(const json::Value& doc) {
   p.seed = get_u64(doc, "seed");
   p.num_nodes = static_cast<std::uint32_t>(get_u64(doc, "num_nodes"));
   p.num_edges = get_u64(doc, "num_edges");
+  p.rho_awk = static_cast<std::uint32_t>(get_u64(doc, "rho_awk"));
   if (const json::Value* f = doc.find("synchronous")) p.synchronous = f->boolean;
 
   const json::Value& totals = doc.at("totals");

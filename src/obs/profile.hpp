@@ -86,6 +86,10 @@ struct RunProfile {
   std::uint64_t seed = 0;
   std::uint32_t num_nodes = 0;
   std::uint64_t num_edges = 0;
+  /// Awake distance rho_awk(G, A0) of the run's wake schedule (Eq. 1) — the
+  /// quantity the paper's time bounds are stated against, and the search
+  /// driver's third objective (src/search).
+  std::uint32_t rho_awk = 0;
   bool synchronous = false;
 
   // Totals mirrored from sim::Metrics — the numbers the phases partition.

@@ -38,6 +38,11 @@ std::uint64_t PreparedConfigCache::hits() const {
   return hits_;
 }
 
+void PreparedConfigCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 std::uint64_t PreparedConfigCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;

@@ -57,6 +57,13 @@ class PreparedConfigCache {
   std::uint64_t hits() const;
   std::uint64_t misses() const;
 
+  /// Drops every cached preparation; the hit/miss counters keep counting.
+  /// Outstanding shared_ptrs stay valid — entries die when their last user
+  /// releases them. Long-lived callers whose key stream keeps moving (the
+  /// search driver mutating graph parameters and seeds, src/search) call
+  /// this to bound resident memory.
+  void clear();
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const app::PreparedExperiment>>

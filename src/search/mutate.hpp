@@ -1,0 +1,49 @@
+// Genome mutation for the adversary search driver.
+//
+// A scenario genome is the (graph spec, wake-schedule spec, delay spec,
+// seed) quadruple of a check::Scenario — the same string grammar
+// rise_cli, the fuzzer, and the shrinker speak, so every genome the search
+// visits is a one-line repro by construction. The algorithm and the graph
+// *family* are held fixed (they are the question being asked); mutation
+// explores graph parameters, schedule and delay adversaries, and the seed —
+// which under KT0 is the port-permutation axis: instance ports are drawn
+// from mix_seed(seed, 0xB), so resampling the seed reshuffles the very port
+// numbering a KT0 adversary controls.
+//
+// Mutations are single-gene and validity-preserving: every emitted spec
+// parses, respects its family's floors (the same floors check/shrink.cpp
+// shrinks toward), and stays inside MutationLimits. Unknown graph families
+// (dkq, cache:, ...) are left untouched — mutation falls through to the
+// seed gene so a step always changes something.
+#pragma once
+
+#include <cstdint>
+
+#include "check/scenario.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace rise::search {
+
+struct MutationLimits {
+  /// Node-count corridor for count-valued graph fields (grid/torus sides are
+  /// bounded so the product stays in the corridor).
+  std::uint32_t min_nodes = 8;
+  std::uint32_t max_nodes = 512;
+  sim::Time max_tau = 12;  ///< cap for delay taus and staggered gaps
+};
+
+/// One-gene mutation: perturbs exactly one of {graph parameter, schedule,
+/// delay, seed}, drawn from `rng`. Pure function of (scenario, rng state,
+/// limits). Synchronous algorithms keep delay pinned to "unit" (it is
+/// ignored by the engine and pinning keeps genomes canonical).
+check::Scenario mutate(const check::Scenario& scenario, Rng& rng,
+                       const MutationLimits& limits);
+
+/// Uniform resample of every gene over the same space mutate() explores —
+/// the equal-budget random baseline draws genomes from this, so
+/// search-vs-random comparisons are over one search space.
+check::Scenario random_genome(const check::Scenario& prototype, Rng& rng,
+                              const MutationLimits& limits);
+
+}  // namespace rise::search

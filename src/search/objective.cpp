@@ -1,0 +1,79 @@
+#include "search/objective.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace rise::search {
+
+namespace {
+
+/// The algorithm family token: the spec up to the first ':' ("gossip:32" ->
+/// "gossip").
+std::string family_of(const std::string& algorithm) {
+  const std::size_t colon = algorithm.find(':');
+  return colon == std::string::npos ? algorithm : algorithm.substr(0, colon);
+}
+
+}  // namespace
+
+const char* objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kMessages:
+      return "messages";
+    case Objective::kTime:
+      return "time";
+    case Objective::kRhoAwk:
+    default:
+      return "rho_awk";
+  }
+}
+
+Objective parse_objective(const std::string& name) {
+  if (name == "messages") return Objective::kMessages;
+  if (name == "time") return Objective::kTime;
+  RISE_CHECK_MSG(name == "rho_awk",
+                 "unknown objective '"
+                     << name << "' (expected messages|time|rho_awk)");
+  return Objective::kRhoAwk;
+}
+
+double objective_value(Objective objective, const obs::RunProfile& profile) {
+  switch (objective) {
+    case Objective::kMessages:
+      return static_cast<double>(profile.messages);
+    case Objective::kTime:
+      return profile.time_units;
+    case Objective::kRhoAwk:
+    default:
+      return static_cast<double>(profile.rho_awk);
+  }
+}
+
+double envelope_bound(Objective objective, const obs::RunProfile& profile) {
+  const std::string family = family_of(profile.algorithm);
+  const double n = static_cast<double>(profile.num_nodes);
+  const double m = static_cast<double>(profile.num_edges);
+  switch (objective) {
+    case Objective::kMessages:
+      if (family == "flooding" || family == "ttl") return 2.0 * m;
+      if (family == "ranked_dfs" || family == "ranked_dfs_nodiscard" ||
+          family == "ranked_dfs_congest" || family == "leader") {
+        return n >= 2 ? 20.0 * n * std::log(n) : 0.0;
+      }
+      if (family == "fast_wakeup") {
+        return n >= 2 ? 60.0 * std::pow(n, 1.5) * std::sqrt(std::log(n)) : 0.0;
+      }
+      if (family == "fip06") return n >= 1 ? 2.0 * (n - 1.0) : 0.0;
+      return 0.0;
+    case Objective::kTime:
+      if (family == "flooding") return static_cast<double>(profile.rho_awk);
+      if (family == "fast_wakeup") return 30.0;
+      return 0.0;
+    case Objective::kRhoAwk:
+    default:
+      return n >= 1 ? n - 1.0 : 0.0;
+  }
+}
+
+}  // namespace rise::search

@@ -1,0 +1,51 @@
+// Search objectives: what the adversary driver (src/search/hunt.hpp)
+// maximizes, read off an obs::RunProfile.
+//
+// Three objectives mirror the paper's cost measures:
+//   messages — total message complexity (Theorems 1-3 trade this off);
+//   time     — tau-normalized completion time, the awake-distance-relative
+//              measure of Definition 2;
+//   rho_awk  — the awake distance rho_awk(G, A0) itself (Eq. 1): maximizing
+//              it hunts wake schedules that stretch the very yardstick the
+//              time bounds are stated against.
+//
+// envelope_bound() returns the matching analytical envelope from the
+// conformance suite (tests/test_complexity_conformance.cpp) so hunt reports
+// can state champion-vs-bound ratios: an empirical worst case close to its
+// envelope says the bound is tight in practice; a champion *above* it would
+// be a conformance bug.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/profile.hpp"
+
+namespace rise::search {
+
+enum class Objective : std::uint8_t {
+  kMessages,
+  kTime,
+  kRhoAwk,
+};
+
+/// "messages" | "time" | "rho_awk".
+const char* objective_name(Objective objective);
+
+/// Inverse of objective_name; CheckError on unknown names.
+Objective parse_objective(const std::string& name);
+
+/// The objective's value on a completed run.
+double objective_value(Objective objective, const obs::RunProfile& profile);
+
+/// The analytical worst-case envelope for this objective on this run's
+/// algorithm and instance size, or 0 when no envelope is known. Formulas
+/// match the conformance suite:
+///   messages: flooding/ttl 2m; ranked_dfs family 20 n ln n;
+///             fast_wakeup 60 n^1.5 sqrt(ln n); fip06 2(n-1).
+///   time:     flooding rho_awk (Theorem: flooding completes in exactly
+///             rho_awk tau-units); fast_wakeup 30 rounds.
+///   rho_awk:  n - 1 (eccentricity bound on any connected instance).
+double envelope_bound(Objective objective, const obs::RunProfile& profile);
+
+}  // namespace rise::search

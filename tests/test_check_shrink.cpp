@@ -1,0 +1,290 @@
+// Shrinker candidate generation and fixed-point behaviour: schedule
+// shrinking (staggered/set reductions), the documented size order, candidate
+// validity across every graph family x schedule x delay combination, and
+// the rejected-candidate memoization that keeps max_evaluations pointed at
+// new candidates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/spec.hpp"
+#include "check/scenario.hpp"
+#include "check/shrink.hpp"
+#include "support/rng.hpp"
+
+namespace rise::check {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool is_number(const std::string& s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), [](char c) {
+    return c >= '0' && c <= '9';
+  });
+}
+
+/// Sum of a spec's numeric fields, doubles included, RxC dims split. This is
+/// the component weight documented in check/shrink.hpp.
+double numeric_weight(const std::string& spec) {
+  double sum = 0.0;
+  for (const std::string& part : split(spec, ':')) {
+    for (const std::string& piece : split(part, 'x')) {
+      try {
+        std::size_t used = 0;
+        const double v = std::stod(piece, &used);
+        if (used == piece.size()) sum += v;
+      } catch (const std::exception&) {
+        // non-numeric token (family name, set members handled below)
+      }
+    }
+  }
+  return sum;
+}
+
+double graph_weight(const std::string& spec) { return numeric_weight(spec); }
+
+double schedule_weight(const std::string& spec) {
+  if (spec == "single") return 0.0;
+  const std::vector<std::string> parts = split(spec, ':');
+  double members = 0.0;
+  if (parts[0] == "set" && parts.size() == 2) {
+    members = static_cast<double>(split(parts[1], ',').size());
+    return 1.0 + members;
+  }
+  return 1.0 + numeric_weight(spec);
+}
+
+double delay_weight(const std::string& spec) {
+  if (spec == "unit") return 0.0;
+  return 1.0 + numeric_weight(spec);
+}
+
+Scenario make(const std::string& graph, const std::string& schedule,
+              const std::string& delay) {
+  Scenario s;
+  s.spec.graph = graph;
+  s.spec.schedule = schedule;
+  s.spec.algorithm = "flooding";
+  s.spec.delay = delay;
+  s.spec.seed = 7;
+  s.family = "flooding";
+  return s;
+}
+
+const std::vector<std::string>& all_graphs() {
+  static const std::vector<std::string> kGraphs = {
+      "path:10",   "cycle:9",       "star:8",      "complete:8",
+      "grid:4x6",  "torus:4x5",     "hypercube:4", "tree:12",
+      "gnp:12:0.3","cgnp:16:0.25",  "regular:10:3","lollipop:6:5",
+      "barbell:4:3", "pendant:9"};
+  return kGraphs;
+}
+
+const std::vector<std::string>& all_schedules() {
+  static const std::vector<std::string> kSchedules = {
+      "single", "all", "random:0.5", "staggered:8:2.4",
+      "dominating", "set:0,1,2", "set:0,2"};
+  return kSchedules;
+}
+
+const std::vector<std::string>& all_delays() {
+  static const std::vector<std::string> kDelays = {
+      "unit", "fixed:6", "random:7", "slow:4:3", "congestion:5"};
+  return kDelays;
+}
+
+TEST(ShrinkSchedules, StaggeredShrinksGapAndGrowthTowardFloors) {
+  const std::vector<Scenario> cands =
+      shrink_candidates(make("path:10", "staggered:8:2.4", "unit"));
+  std::vector<std::string> schedules;
+  for (const Scenario& c : cands) {
+    if (c.spec.schedule != "staggered:8:2.4") {
+      schedules.push_back(c.spec.schedule);
+    }
+  }
+  EXPECT_NE(std::find(schedules.begin(), schedules.end(), "single"),
+            schedules.end());
+  EXPECT_NE(std::find(schedules.begin(), schedules.end(), "staggered:4:2.4"),
+            schedules.end());
+  EXPECT_NE(std::find(schedules.begin(), schedules.end(), "staggered:8:1.2"),
+            schedules.end());
+}
+
+TEST(ShrinkSchedules, StaggeredAtFloorsOnlyOffersSingle) {
+  const std::vector<Scenario> cands =
+      shrink_candidates(make("path:4", "staggered:1:1.2", "unit"));
+  for (const Scenario& c : cands) {
+    if (c.spec.schedule == "staggered:1:1.2") continue;
+    EXPECT_EQ(c.spec.schedule, "single");
+  }
+}
+
+TEST(ShrinkSchedules, SetDropsOneMemberPerCandidate) {
+  const std::vector<Scenario> cands =
+      shrink_candidates(make("path:10", "set:0,1,2", "unit"));
+  std::vector<std::string> schedules;
+  for (const Scenario& c : cands) {
+    if (c.spec.schedule != "set:0,1,2") schedules.push_back(c.spec.schedule);
+  }
+  EXPECT_NE(std::find(schedules.begin(), schedules.end(), "set:1,2"),
+            schedules.end());
+  EXPECT_NE(std::find(schedules.begin(), schedules.end(), "set:0,2"),
+            schedules.end());
+  EXPECT_NE(std::find(schedules.begin(), schedules.end(), "set:0,1"),
+            schedules.end());
+}
+
+TEST(ShrinkSchedules, SingletonSetSwapsToSingleOnly) {
+  const std::vector<Scenario> cands =
+      shrink_candidates(make("path:10", "set:3", "unit"));
+  for (const Scenario& c : cands) {
+    if (c.spec.schedule == "set:3") continue;
+    EXPECT_EQ(c.spec.schedule, "single");
+  }
+}
+
+TEST(ShrinkSchedules, ScheduleShrinkReachesSingleUnderTruePredicate) {
+  const ShrinkResult res = shrink_scenario(
+      make("path:6", "staggered:8:2.4", "unit"),
+      [](const Scenario&) { return true; }, {.max_evaluations = 500});
+  EXPECT_EQ(res.scenario.spec.schedule, "single");
+}
+
+// The property suite of check/shrink.hpp's documented size order: across
+// every graph family x schedule x delay, every candidate (a) parses, (b)
+// changes exactly one spec component, and (c) strictly decreases that
+// component's weight — so greedy shrinking cannot cycle.
+TEST(ShrinkProperties, CandidatesAreValidAndStrictlySmaller) {
+  for (const std::string& g : all_graphs()) {
+    for (const std::string& w : all_schedules()) {
+      for (const std::string& d : all_delays()) {
+        const Scenario s = make(g, w, d);
+        for (const Scenario& c : shrink_candidates(s)) {
+          const bool graph_changed = c.spec.graph != s.spec.graph;
+          const bool sched_changed = c.spec.schedule != s.spec.schedule;
+          const bool delay_changed = c.spec.delay != s.spec.delay;
+          EXPECT_EQ((graph_changed ? 1 : 0) + (sched_changed ? 1 : 0) +
+                        (delay_changed ? 1 : 0),
+                    1)
+              << "candidate must change exactly one component: " << g << " "
+              << w << " " << d;
+          EXPECT_EQ(c.spec.algorithm, s.spec.algorithm);
+          EXPECT_EQ(c.spec.seed, s.spec.seed);
+
+          // Validity: the changed spec parses (graph generation, schedule
+          // construction on the candidate's graph, delay construction).
+          Rng rng(1);
+          const graph::Graph cg = app::parse_graph_spec(c.spec.graph, rng);
+          EXPECT_GE(cg.num_nodes(), 2u) << c.spec.graph;
+          Rng srng(2);
+          EXPECT_NO_THROW(app::parse_schedule_spec(c.spec.schedule, cg, srng))
+              << c.spec.schedule << " on " << c.spec.graph;
+          EXPECT_NO_THROW(app::parse_delay_spec(c.spec.delay, 3))
+              << c.spec.delay;
+
+          if (graph_changed) {
+            EXPECT_LT(graph_weight(c.spec.graph), graph_weight(s.spec.graph))
+                << c.spec.graph << " from " << s.spec.graph;
+          } else if (sched_changed) {
+            EXPECT_LT(schedule_weight(c.spec.schedule),
+                      schedule_weight(s.spec.schedule))
+                << c.spec.schedule << " from " << s.spec.schedule;
+          } else {
+            EXPECT_LT(delay_weight(c.spec.delay), delay_weight(s.spec.delay))
+                << c.spec.delay << " from " << s.spec.delay;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Satellite regression: pick() used to wrap to a 2^64-sized range when a
+// small max_nodes drove hi below lo. Sweep max_nodes down to the documented
+// minimum of 8 and assert every sampled graph keeps its numeric fields
+// within the generator's corridor (a wrap would produce astronomical
+// sizes immediately).
+TEST(ShrinkProperties, SampledGraphFieldsStayBoundedAtSmallMaxNodes) {
+  for (sim::NodeId max_nodes : {8u, 9u, 11u, 16u, 24u, 48u, 96u}) {
+    GeneratorOptions options;
+    options.max_nodes = max_nodes;
+    const std::uint64_t cap = std::max<std::uint64_t>(8, max_nodes);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const Scenario s = sample_scenario(0xBEEF + max_nodes, i, options);
+      for (const std::string& part : split(s.spec.graph, ':')) {
+        for (const std::string& piece : split(part, 'x')) {
+          if (!is_number(piece)) continue;
+          EXPECT_LE(std::stoull(piece), cap)
+              << s.spec.graph << " with max_nodes=" << max_nodes;
+        }
+      }
+    }
+  }
+}
+
+// Memoization: a candidate whose full (graph, schedule, delay) triple was
+// already rejected is skipped without spending budget. Here the predicate
+// pins the graph and the schedule kind, so the rejected "single" swap is
+// re-proposed verbatim while the schedule chain shrinks (skipped 3x) and
+// the rejected "unit" swap verbatim while the delay chain shrinks (skipped
+// 3x). Round-by-round: 19 evaluations (1 initial + 6 accepted + 12 distinct
+// rejections) and 6 memo skips — an unmemoized scan would spend 25.
+TEST(ShrinkMemoization, UnchangedRejectedCandidatesAreSkipped) {
+  const Scenario start = make("path:8", "staggered:4:2.4", "fixed:8");
+  std::size_t calls = 0;
+  const auto predicate = [&calls](const Scenario& s) {
+    ++calls;
+    return s.spec.graph == "path:8" &&
+           s.spec.schedule.rfind("staggered", 0) == 0 &&
+           s.spec.delay != "unit";
+  };
+  const ShrinkResult res = shrink_scenario(start, predicate);
+  EXPECT_EQ(res.scenario.spec.graph, "path:8");
+  EXPECT_EQ(res.scenario.spec.schedule, "staggered:1:1.2");
+  EXPECT_EQ(res.scenario.spec.delay, "fixed:1");
+  EXPECT_EQ(res.steps, 6u);
+  EXPECT_EQ(res.evaluations, 19u);
+  EXPECT_EQ(calls, res.evaluations);
+  EXPECT_EQ(res.memo_skips, 6u);
+}
+
+// Every evaluation goes to a distinct candidate triple: the count equals
+// 1 (initial) + accepted steps + distinct rejections, pinned exactly.
+TEST(ShrinkMemoization, BudgetIsSpentOnNewCandidatesOnly) {
+  const Scenario start = make("path:32", "all", "fixed:8");
+  std::size_t calls = 0;
+  const auto predicate = [&calls](const Scenario& s) {
+    ++calls;
+    const std::vector<std::string> parts = split(s.spec.graph, ':');
+    return std::stoull(parts[1]) >= 4 && s.spec.delay != "unit";
+  };
+  const ShrinkResult res =
+      shrink_scenario(start, predicate, {.max_evaluations = 100});
+  EXPECT_EQ(res.scenario.spec.graph, "path:4");
+  EXPECT_EQ(res.scenario.spec.schedule, "single");
+  EXPECT_EQ(res.scenario.spec.delay, "fixed:1");
+  EXPECT_EQ(res.steps, 7u);
+  // 1 initial + 7 accepted + 6 distinct rejections (path:2 under four
+  // delay/schedule states, plus the one-time single/unit swaps).
+  EXPECT_EQ(res.evaluations, 14u);
+  EXPECT_EQ(calls, res.evaluations);
+  EXPECT_EQ(res.memo_skips, 3u);  // "unit" re-proposed along the delay chain
+}
+
+}  // namespace
+}  // namespace rise::check

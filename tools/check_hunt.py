@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Gate the adversary search driver: search must beat equal-budget random.
+
+Runs ``rise_cli hunt`` at a fixed seed for the gated cases (flooding and
+fip06 message hunts over cgnp graphs at n in [256, 512]), then fails
+(exit 1) unless for every case
+
+  * the hunt found a champion whose checked replay is clean,
+  * the champion's objective value strictly beats the equal-budget
+    uniform-random baseline over the same genome space,
+  * when an analytical envelope is known, the champion stays at or below
+    it (a champion above its envelope is a conformance bug), and
+  * every corpus entry the hunts emitted replays clean and digest-stable
+    through ``rise_cli fuzz --corpus`` (trials=1 keeps the run corpus-only
+    in spirit; the one sampled trial is a free smoke test).
+
+The whole check is a pure function of the pinned seeds — rerunning it
+anywhere produces the same champions, values, and corpus file. Budget is
+sized for roughly half a minute on one CI core, e.g.:
+
+    cmake --build build --target rise_cli
+    python3 tools/check_hunt.py --cli build/tools/rise_cli
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CASES = [
+    {
+        "name": "flooding-messages",
+        "algo": "flooding",
+        "graph": "cgnp:256:0.05",
+        "objective": "messages",
+        "seed": 7,
+    },
+    {
+        "name": "fip06-messages",
+        "algo": "fip06",
+        "graph": "cgnp:256:0.05",
+        "objective": "messages",
+        "seed": 7,
+    },
+]
+
+
+def run(cmd):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=False)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cli", default="build/tools/rise_cli",
+                        help="path to the rise_cli binary")
+    parser.add_argument("--budget", type=int, default=192,
+                        help="search evaluations per case (default 192)")
+    parser.add_argument("--jobs", type=str, default="1",
+                        help="worker threads for each hunt (default 1)")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="check_hunt_")
+    corpus = os.path.join(workdir, "corpus.txt")
+    failures = []
+
+    for case in CASES:
+        report_path = os.path.join(workdir, case["name"] + ".json")
+        proc = run([
+            args.cli, "hunt",
+            "--graph", case["graph"],
+            "--algo", case["algo"],
+            "--objective", case["objective"],
+            "--seed", str(case["seed"]),
+            "--budget", str(args.budget),
+            "--min-nodes", "256", "--max-nodes", "512",
+            "--jobs", args.jobs,
+            "--baseline", "random",
+            "--json", report_path,
+            "--corpus", corpus,
+        ])
+        if proc.returncode != 0:
+            failures.append(f"{case['name']}: hunt exited {proc.returncode}")
+            continue
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+
+        champion = report["champion"]
+        value = champion["value"]
+        baseline = report["baseline_value"]
+        envelope = report["envelope"]
+        print(
+            f"[gate] {case['name']}: champion={value:.0f} "
+            f"baseline={baseline:.0f} "
+            f"ratio={value / baseline if baseline > 0 else float('inf'):.3f}"
+            + (f" envelope={envelope:.0f}" if envelope > 0 else ""),
+            flush=True,
+        )
+        if not champion["clean"]:
+            failures.append(f"{case['name']}: champion replay not clean")
+        if not report["baseline_run"] or baseline <= 0:
+            failures.append(f"{case['name']}: no usable random baseline")
+        elif value <= baseline:
+            failures.append(
+                f"{case['name']}: champion {value:.0f} does not beat the "
+                f"equal-budget random baseline {baseline:.0f}"
+            )
+        if envelope > 0 and value > envelope * (1 + 1e-9):
+            failures.append(
+                f"{case['name']}: champion {value:.0f} EXCEEDS its "
+                f"analytical envelope {envelope:.0f} (conformance bug)"
+            )
+
+    # Every champion the hunts recorded must replay clean and digest-stable.
+    if os.path.exists(corpus):
+        proc = run([args.cli, "fuzz", "--trials", "1", "--seed", "1",
+                    "--corpus", corpus])
+        if proc.returncode != 0:
+            failures.append("corpus replay through `rise_cli fuzz` failed")
+    else:
+        failures.append("no corpus file was emitted")
+
+    if failures:
+        print("\ncheck_hunt: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_hunt: OK ({len(CASES)} gated hunt(s); corpus at "
+          f"{corpus} replayed clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,10 @@
 #include <unistd.h>
 
 #include "app/spec.hpp"
+#include "check/corpus.hpp"
 #include "check/fuzz.hpp"
 #include "graph/io.hpp"
+#include "search/hunt.hpp"
 #include "obs/profile.hpp"
 #include "runner/campaign.hpp"
 #include "runner/result_sink.hpp"
@@ -49,7 +51,14 @@ void usage() {
       "       rise_cli fuzz [--trials N] [--seed N] [--jobs N]\n"
       "                     [--max-nodes N] [--max-tau T] [--families a,b]\n"
       "                     [--fault late_delivery] [--no-shrink]\n"
-      "                     [--no-thread-check]\n\n"
+      "                     [--no-thread-check] [--corpus FILE]...\n"
+      "       rise_cli hunt [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
+      "                     [--delay SPEC] [--seed N] [--budget N]\n"
+      "                     [--objective messages|time|rho_awk]\n"
+      "                     [--search ea|anneal] [--lambda N] [--jobs N]\n"
+      "                     [--baseline random|none] [--min-nodes N]\n"
+      "                     [--max-nodes N] [--max-tau T] [--corpus FILE]\n"
+      "                     [--json PATH]\n\n"
       "single run: every random choice derives from --seed (default 1).\n"
       "  --profile[=PATH]  attach the observability probe: print a per-phase\n"
       "                    breakdown and write a run_profile JSON document to\n"
@@ -108,7 +117,18 @@ void usage() {
       "  vs heap event queue, async vs lock-step for unit-delay flooding,\n"
       "  1 vs N runner threads). Failures are shrunk to one-line repros.\n"
       "  --fault late_delivery injects a synthetic causality bug to prove\n"
-      "  the checker bites. Exit 0 iff every trial is clean.\n\n"
+      "  the checker bites. --corpus FILE (repeatable) first replays every\n"
+      "  recorded regression scenario and requires it clean and\n"
+      "  digest-stable. Exit 0 iff every trial and corpus entry is clean.\n\n"
+      "hunt: optimizing adversary search. Starting from the --graph/--algo/\n"
+      "  --schedule/--delay genome, a (1+lambda) evolutionary search (or\n"
+      "  --search anneal) mutates graph parameters, wake schedule, delay\n"
+      "  policy, and seed (the KT0 port-permutation axis), maximizing\n"
+      "  --objective over --budget evaluations; --baseline random re-spends\n"
+      "  the same budget on uniform random genomes as a control. The\n"
+      "  champion is replayed through the invariant checker; --corpus FILE\n"
+      "  appends it as a regression entry `rise_cli fuzz --corpus` replays\n"
+      "  bit-identically. Deterministic for any --jobs value.\n\n"
       "(the library call app::run_sweep keeps the legacy sequential seeds\n"
       " base, base+1, ... for reproducing pre-campaign sweeps)\n\n"
       "spec grammars (see src/app/spec.hpp for the full list):\n"
@@ -189,6 +209,8 @@ int run_fuzz_command(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--no-thread-check") {
       options.verify_threads = false;
+    } else if (arg == "--corpus") {
+      options.corpus.push_back(value());
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -202,6 +224,118 @@ int run_fuzz_command(int argc, char** argv) {
   return report.ok() && (report.threads_verified || !options.verify_threads)
              ? 0
              : 1;
+}
+
+bool ensure_writable(const std::string& path);
+
+/// The fuzzer's scenario family for an algorithm spec (reporting only).
+std::string family_for_algorithm(const std::string& algorithm) {
+  const std::string family = algorithm.substr(0, algorithm.find(':'));
+  if (family == "flooding" || family == "ttl") return "flooding";
+  if (family == "ranked_dfs" || family == "ranked_dfs_nodiscard" ||
+      family == "ranked_dfs_congest" || family == "leader") {
+    return "ranked_dfs";
+  }
+  if (family == "fast_wakeup") return "fast_wakeup";
+  if (family == "gossip") return "gossip";
+  if (family == "fip06" || family == "sqrt" || family == "cen" ||
+      family == "cen_chain" || family == "spanner" || family == "cor2") {
+    return "advice";
+  }
+  return "";
+}
+
+int run_hunt_command(int argc, char** argv) {
+  using namespace rise;
+  search::HuntOptions options;
+  options.initial.spec.graph = "cgnp:64:0.1";
+  options.initial.spec.schedule = "single";
+  options.initial.spec.algorithm = "flooding";
+  options.initial.spec.delay = "unit";
+  std::string corpus_path;
+  std::string json_path;
+  bool seed_set = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--graph") {
+      options.initial.spec.graph = value();
+    } else if (arg == "--schedule") {
+      options.initial.spec.schedule = value();
+    } else if (arg == "--algo") {
+      options.initial.spec.algorithm = value();
+    } else if (arg == "--delay") {
+      options.initial.spec.delay = value();
+    } else if (arg == "--seed") {
+      options.seed = parse_count(arg, value());
+      seed_set = true;
+    } else if (arg == "--budget") {
+      options.budget = parse_count(arg, value());
+    } else if (arg == "--lambda") {
+      options.lambda = parse_count(arg, value());
+    } else if (arg == "--jobs") {
+      options.jobs = parse_count(arg, value());
+    } else if (arg == "--objective") {
+      options.objective = search::parse_objective(value());
+    } else if (arg == "--search") {
+      options.algorithm = value();
+    } else if (arg == "--baseline") {
+      const std::string kind = value();
+      if (kind == "random") {
+        options.baseline = true;
+      } else if (kind == "none") {
+        options.baseline = false;
+      } else {
+        std::fprintf(stderr, "unknown baseline '%s' (try: random|none)\n",
+                     kind.c_str());
+        return 2;
+      }
+    } else if (arg == "--min-nodes") {
+      options.limits.min_nodes =
+          static_cast<std::uint32_t>(parse_count(arg, value()));
+    } else if (arg == "--max-nodes") {
+      options.limits.max_nodes =
+          static_cast<std::uint32_t>(parse_count(arg, value()));
+    } else if (arg == "--max-tau") {
+      options.limits.max_tau = parse_count(arg, value());
+    } else if (arg == "--corpus") {
+      corpus_path = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown hunt flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  // One --seed drives the whole hunt: the search streams AND the initial
+  // genome's engine seed, so `hunt --seed S` is one reproducible experiment.
+  if (seed_set) options.initial.spec.seed = options.seed;
+  options.initial.family =
+      family_for_algorithm(options.initial.spec.algorithm);
+
+  const search::HuntReport report = search::run_hunt(options);
+  std::fputs(search::format_hunt(report).c_str(), stdout);
+  if (!json_path.empty()) {
+    if (!ensure_writable(json_path)) return 2;
+    std::ofstream out(json_path);
+    out << search::hunt_to_json(report) << "\n";
+    std::printf("json      : %s\n", json_path.c_str());
+  }
+  if (report.champion_value < 0.0 || !report.champion_clean) return 1;
+  if (!corpus_path.empty()) {
+    check::append_corpus(corpus_path, search::champion_entry(report));
+    std::printf("corpus    : %s (champion appended)\n", corpus_path.c_str());
+  }
+  return 0;
 }
 
 int run_profile_command(int argc, char** argv) {
@@ -420,6 +554,14 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) {
     try {
       return run_fuzz_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "hunt") == 0) {
+    try {
+      return run_hunt_command(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
