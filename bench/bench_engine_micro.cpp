@@ -6,6 +6,7 @@
 
 #include "algo/flooding.hpp"
 #include "algo/ranked_dfs.hpp"
+#include "algo/sleeping.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/high_girth.hpp"
@@ -208,6 +209,70 @@ void BM_SyncFloodingRounds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyncFloodingRounds)->Arg(1000)->Arg(4000);
+
+/// Sleeping-model families on the virtual-process path: prices the nap
+/// bookkeeping (asleep_until scans, drop accounting) the sleeping engine adds
+/// per round. state.range(1) selects the family (0 = smis, 1 = smatching).
+void BM_SyncSleepingRounds(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const bool matching = state.range(1) == 1;
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  opt.bandwidth = sim::Bandwidth::CONGEST;
+  Rng irng(1);
+  const auto inst = sim::Instance::create(g, opt, irng);
+  sim::SyncRunLimits limits;
+  limits.sleeping_model = true;
+  const auto factory = matching ? algo::sleeping_matching_factory()
+                                : algo::sleeping_mis_factory();
+  for (auto _ : state) {
+    const auto result =
+        sim::run_sync(inst, sim::wake_single(0), 1, factory, limits);
+    benchmark::DoNotOptimize(result.metrics.sleep_dropped);
+  }
+}
+BENCHMARK(BM_SyncSleepingRounds)
+    ->Args({1000, 0})
+    ->Args({4000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 1})
+    ->ArgNames({"n", "matching"});
+
+/// Same workloads on the flat-kernel path with a warm workspace — the
+/// campaign steady state for the sleeping families (bit-identical to the
+/// virtual path by test_sim_kernels).
+void BM_KernelSleepingRounds(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const bool matching = state.range(1) == 1;
+  Rng rng(n);
+  const auto g = graph::connected_gnp(n, 8.0 / n, rng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  opt.bandwidth = sim::Bandwidth::CONGEST;
+  Rng irng(1);
+  const auto inst = sim::Instance::create(g, opt, irng);
+  const auto schedule = sim::wake_single(0);
+  const sim::KernelRunner kernel = matching ? algo::sleeping_matching_kernel()
+                                            : algo::sleeping_mis_kernel();
+  sim::RunWorkspace workspace;
+  sim::SyncKernelArgs args;
+  args.instance = &inst;
+  args.schedule = &schedule;
+  args.seed = 1;
+  args.limits.sleeping_model = true;
+  args.workspace = &workspace;
+  for (auto _ : state) {
+    auto result = kernel.run_sync(args);
+    benchmark::DoNotOptimize(result.metrics.sleep_dropped);
+    workspace.recycle_result(std::move(result));
+  }
+}
+BENCHMARK(BM_KernelSleepingRounds)
+    ->Args({4000, 0})
+    ->Args({4000, 1})
+    ->ArgNames({"n", "matching"});
 
 void BM_RankedDfs(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));

@@ -12,6 +12,7 @@
 #include "algo/gossip.hpp"
 #include "algo/ranked_dfs.hpp"
 #include "algo/ranked_dfs_congest.hpp"
+#include "algo/sleeping.hpp"
 #include "graph/cache.hpp"
 #include "graph/generators.hpp"
 #include "graph/high_girth.hpp"
@@ -315,6 +316,26 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
     setup.kernel = algo::push_gossip_kernel(budget);
     return setup;
   }
+  if (kind == "smis") {
+    expect_fields(f, 1, spec);
+    setup.knowledge = sim::Knowledge::KT0;
+    setup.bandwidth = sim::Bandwidth::CONGEST;
+    setup.synchronous = true;
+    setup.sleeping = true;
+    setup.factory = algo::sleeping_mis_factory();
+    setup.kernel = algo::sleeping_mis_kernel();
+    return setup;
+  }
+  if (kind == "smatching") {
+    expect_fields(f, 1, spec);
+    setup.knowledge = sim::Knowledge::KT0;
+    setup.bandwidth = sim::Bandwidth::CONGEST;
+    setup.synchronous = true;
+    setup.sleeping = true;
+    setup.factory = algo::sleeping_matching_factory();
+    setup.kernel = algo::sleeping_matching_kernel();
+    return setup;
+  }
   if (kind == "ttl") {
     expect_fields(f, 2, spec);
     setup.knowledge = sim::Knowledge::KT0;
@@ -387,8 +408,8 @@ AlgorithmSetup parse_algorithm_spec(const std::string& spec) {
 std::vector<std::string> algorithm_names() {
   return {"flooding", "ranked_dfs", "ranked_dfs_congest",
           "ranked_dfs_nodiscard", "leader", "fast_wakeup", "gossip:BUDGET",
-          "ttl:R", "fip06", "sqrt", "cen", "cen_chain", "spanner:K", "cor2",
-          "beta:B"};
+          "smis", "smatching", "ttl:R", "fip06", "sqrt", "cen", "cen_chain",
+          "spanner:K", "cor2", "beta:B"};
 }
 
 ExperimentReport run_experiment(const ExperimentSpec& spec) {
@@ -414,6 +435,7 @@ PreparedExperiment prepare_experiment(const ExperimentSpec& spec,
   AlgorithmSetup algorithm = parse_algorithm_spec(spec.algorithm);
   prep.algorithm = algorithm.name;
   prep.synchronous = algorithm.synchronous;
+  prep.sleeping = algorithm.sleeping;
   prep.factory = std::move(algorithm.factory);
   prep.kernel = std::move(algorithm.kernel);
 
@@ -479,11 +501,14 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
     if (instruments.on_setup) {
       instruments.on_setup(instance, schedule, nullptr, true);
     }
+    sim::SyncRunLimits limits;
+    limits.sleeping_model = prepared.sleeping;
     if (use_kernel) {
       sim::SyncKernelArgs args;
       args.instance = &instance;
       args.schedule = &schedule;
       args.seed = spec.seed;
+      args.limits = limits;
       args.trace = instruments.trace;
       args.probe = probe;
       args.workspace = workspace;
@@ -496,7 +521,7 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
       engine.set_probe(probe);
       engine.set_workspace(workspace);
       obs::PhaseTimer timer(probe, "engine.run");
-      report.result = engine.run(prepared.factory);
+      report.result = engine.run(prepared.factory, limits);
       timer.set_sim_span(report.result.metrics.rounds);
     }
   } else {

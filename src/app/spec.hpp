@@ -17,8 +17,8 @@
 //   delay:    unit | fixed:TAU | random:TAU | slow:TAU:ONE_IN |
 //             congestion:TAU
 //   algo:     flooding | ranked_dfs | ranked_dfs_nodiscard | fast_wakeup |
-//             gossip:BUDGET | ttl:R | fip06 | sqrt | cen | cen_chain |
-//             spanner:K | cor2 | beta:B
+//             gossip:BUDGET | smis | smatching | ttl:R | fip06 | sqrt |
+//             cen | cen_chain | spanner:K | cor2 | beta:B
 #pragma once
 
 #include <functional>
@@ -59,6 +59,9 @@ struct AlgorithmSetup {
   sim::Knowledge knowledge = sim::Knowledge::KT0;
   sim::Bandwidth bandwidth = sim::Bandwidth::LOCAL;
   bool synchronous = false;
+  /// Sleeping-model family: run with SyncRunLimits::sleeping_model so
+  /// Context::sleep_until is honored (implies synchronous).
+  bool sleeping = false;
   std::unique_ptr<advice::AdvisingOracle> oracle;  // null if none
   sim::ProcessFactory factory;
   sim::KernelRunner kernel;
@@ -151,6 +154,7 @@ struct PreparedExperiment {
   std::shared_ptr<const sim::Instance> instance;
   std::string algorithm;  ///< canonical name from AlgorithmSetup
   bool synchronous = false;
+  bool sleeping = false;  ///< sleeping-model family (see AlgorithmSetup)
   sim::ProcessFactory factory;
   /// The family's flat-kernel fast path; execute_prepared prefers it when
   /// non-empty (opt out per run with RunInstruments::use_virtual_processes).

@@ -88,6 +88,17 @@ void InvariantChecker::on_deliver(sim::Time t, sim::NodeId from,
 
   const std::uint64_t key = channel_key(from, to);
   auto it = in_flight_.find(key);
+  if (model_.sleeping && it != in_flight_.end()) {
+    // Sleeping model: a send whose delivery window [send+1, send+tau] has
+    // already closed can never match this or any later delivery (channels
+    // are FIFO), so it must be one of the engine's sleep-drops. Retire it
+    // from the queue instead of mis-pairing it with this delivery; the
+    // finish() conservation check (deliveries + sleep_dropped == sends)
+    // keeps the retired count honest against the engine's own counter.
+    while (!it->second.empty() && it->second.front() + model_.tau < t) {
+      it->second.pop_front();
+    }
+  }
   if (it == in_flight_.end() || it->second.empty()) {
     violation("delivery with no matching in-flight send" + at.str());
   } else {
@@ -187,7 +198,17 @@ std::vector<std::string> InvariantChecker::finish(
   if (m.deliveries > m.messages) {
     violation("conservation violated: deliveries > messages");
   }
-  if (model_.expect_all_delivered && deliveries_ != sends_) {
+  if (model_.sleeping) {
+    // Sleeping-model conservation: every send is either delivered or dropped
+    // at a declared-sleeping receiver, and the engine counts each drop.
+    if (deliveries_ + m.sleep_dropped != sends_) {
+      std::ostringstream os;
+      os << "sleeping-model conservation violated: " << sends_
+         << " sent != " << deliveries_ << " delivered + " << m.sleep_dropped
+         << " dropped";
+      violation(os.str());
+    }
+  } else if (model_.expect_all_delivered && deliveries_ != sends_) {
     std::ostringstream os;
     os << "undelivered messages in an untruncated run: " << sends_
        << " sent, " << deliveries_ << " delivered";

@@ -10,7 +10,9 @@
 //                  FIFO per directed channel (deliveries never outrun or
 //                  overtake their sends).
 //   Conservation   deliveries <= messages, with equality when nothing was
-//                  truncated; sum(sent_per_node) == messages and
+//                  truncated (sleeping-model runs instead balance exactly:
+//                  sends == deliveries + metrics.sleep_dropped);
+//                  sum(sent_per_node) == messages and
 //                  sum(received_per_node) == deliveries, elementwise against
 //                  the observed trace.
 //   Monotonicity   the asynchronous event stream is non-decreasing in time;
@@ -54,6 +56,11 @@ struct RunModel {
   bool synchronous = false;   ///< lock-step engine (per-stream monotonicity)
   std::optional<std::uint64_t> congest_budget;  ///< bits/message, if CONGEST
   bool expect_all_delivered = true;  ///< no max_time truncation configured
+  /// Sleeping-model run (SyncRunLimits::sleeping_model): sends to a
+  /// declared-sleeping receiver are charged but dropped, so conservation
+  /// tightens to sends == deliveries + metrics.sleep_dropped instead of
+  /// sends == deliveries.
+  bool sleeping = false;
 };
 
 class InvariantChecker final : public sim::TraceSink {

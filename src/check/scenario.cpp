@@ -140,6 +140,7 @@ std::string sample_algorithm(Rng& rng, const std::string& family) {
   }
   if (family == "fast_wakeup") return "fast_wakeup";
   if (family == "gossip") return "gossip:" + fmt(pick(rng, 8, 48));
+  if (family == "sleeping") return rng.chance(0.5) ? "smis" : "smatching";
   RISE_CHECK_MSG(family == "advice", "unknown scenario family " << family);
   switch (rng.uniform(6)) {
     case 0:
@@ -184,7 +185,7 @@ class LateDeliveryFault final : public sim::DelayPolicy {
 
 const std::vector<std::string>& scenario_families() {
   static const std::vector<std::string> kFamilies = {
-      "flooding", "ranked_dfs", "fast_wakeup", "gossip", "advice"};
+      "flooding", "ranked_dfs", "fast_wakeup", "gossip", "sleeping", "advice"};
   return kFamilies;
 }
 
@@ -213,8 +214,8 @@ Scenario sample_scenario(std::uint64_t campaign_seed, std::uint64_t index,
       sample_graph(rng, options.max_nodes, /*require_connected=*/s.family == "advice");
   s.spec.schedule = sample_schedule(rng, options.max_tau);
   s.spec.algorithm = sample_algorithm(rng, s.family);
-  const bool synchronous =
-      s.family == "fast_wakeup" || s.family == "gossip";
+  const bool synchronous = s.family == "fast_wakeup" ||
+                           s.family == "gossip" || s.family == "sleeping";
   s.spec.delay = synchronous ? "unit" : sample_delay(rng, options.max_tau);
   s.spec.seed = rng();
   return s;
@@ -283,6 +284,10 @@ CheckedRun run_checked(const Scenario& s, const RunVariant& variant) {
     instruments.delay_override = fault.get();
   }
 
+  // Sleeping-model families drop sends to declared-sleeping receivers, so
+  // the conservation law the checker enforces changes shape (see RunModel).
+  const bool sleeping = app::parse_algorithm_spec(s.spec.algorithm).sleeping;
+
   instruments.on_setup = [&](const sim::Instance& instance,
                              const sim::WakeSchedule& schedule,
                              const sim::DelayPolicy* delays,
@@ -290,6 +295,7 @@ CheckedRun run_checked(const Scenario& s, const RunVariant& variant) {
     RunModel model;
     model.num_nodes = instance.num_nodes();
     model.synchronous = synchronous;
+    model.sleeping = sleeping;
     if (synchronous) {
       model.tau = 1;
     } else if (instruments.delay_override != nullptr) {

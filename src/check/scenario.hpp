@@ -39,15 +39,17 @@ struct Scenario {
   std::string family;  ///< one of scenario_families()
 };
 
-/// The five algorithm families the fuzzer covers: "flooding" (incl. TTL
-/// floods), "ranked_dfs" (all variants), "fast_wakeup", "gossip", "advice"
-/// (the Section-4 advising schemes).
+/// The six algorithm families the fuzzer covers: "flooding" (incl. TTL
+/// floods), "ranked_dfs" (all variants), "fast_wakeup", "gossip", "sleeping"
+/// (the sleeping-model smis/smatching pair, run with awake accounting and
+/// message drops at declared-sleeping nodes), "advice" (the Section-4
+/// advising schemes).
 const std::vector<std::string>& scenario_families();
 
 struct GeneratorOptions {
   sim::NodeId max_nodes = 96;  ///< >= 8
   sim::Time max_tau = 12;      ///< >= 1
-  std::vector<std::string> families;  ///< subset filter; empty = all five
+  std::vector<std::string> families;  ///< subset filter; empty = all
 };
 
 /// Scenario for trial `index` of campaign `seed` — a pure function of its

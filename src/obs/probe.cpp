@@ -94,6 +94,13 @@ RunProfile Probe::take_profile(const sim::RunResult& result) const {
   p.rounds = m.rounds;
   p.time_units = m.time_units();
 
+  p.sleep_dropped = m.sleep_dropped;
+  for (std::uint32_t a : result.awake_rounds) {
+    p.awake_total += a;
+    if (a > p.awake_max) p.awake_max = a;
+    p.awake_rounds.add(a);
+  }
+
   p.phases.reserve(phases_.size());
   for (const PhaseAccum& a : phases_) {
     PhaseProfile ph;

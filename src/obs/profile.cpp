@@ -145,7 +145,13 @@ void write_profile(json::Writer& w, const RunProfile& p) {
   w.kv("events", p.events);
   w.kv("rounds", p.rounds);
   w.kv("time_units", p.time_units);
+  w.kv("awake_total", p.awake_total);
+  w.kv("awake_max", p.awake_max);
+  w.kv("sleep_dropped", p.sleep_dropped);
   w.end_object();
+
+  w.key("awake_rounds");
+  write_histogram(w, p.awake_rounds);
 
   w.key("phases").begin_array();
   for (const PhaseProfile& ph : p.phases) {
@@ -270,6 +276,13 @@ RunProfile profile_from_json(const json::Value& doc) {
   p.events = get_u64(totals, "events");
   p.rounds = get_u64(totals, "rounds");
   p.time_units = get_num(totals, "time_units");
+  p.awake_total = get_u64(totals, "awake_total");
+  p.awake_max = get_u64(totals, "awake_max");
+  p.sleep_dropped = get_u64(totals, "sleep_dropped");
+
+  if (const json::Value* h = doc.find("awake_rounds")) {
+    p.awake_rounds = read_histogram(*h);
+  }
 
   if (const json::Value* phases = doc.find("phases")) {
     for (const json::Value& v : phases->array) {
@@ -327,8 +340,13 @@ void ProfileAggregate::merge(const RunProfile& p) {
   messages += p.messages;
   bits += p.bits;
   events += p.events;
+  awake_total += p.awake_total;
+  awake_max = std::max(awake_max, p.awake_max);
+  sleep_dropped += p.sleep_dropped;
+  awake_rounds.merge(p.awake_rounds);
   messages_per_trial.add(static_cast<double>(p.messages));
   time_units.add(p.time_units);
+  awake_max_per_trial.add(static_cast<double>(p.awake_max));
 
   for (const PhaseProfile& ph : p.phases) {
     auto it = std::lower_bound(
@@ -385,12 +403,20 @@ void write_aggregate(json::Writer& w, const ProfileAggregate& a) {
   w.kv("messages", a.messages);
   w.kv("bits", a.bits);
   w.kv("events", a.events);
+  w.kv("awake_total", a.awake_total);
+  w.kv("awake_max", a.awake_max);
+  w.kv("sleep_dropped", a.sleep_dropped);
   w.end_object();
+
+  w.key("awake_rounds");
+  write_histogram(w, a.awake_rounds);
 
   w.key("messages_per_trial");
   write_stats(w, a.messages_per_trial);
   w.key("time_units");
   write_stats(w, a.time_units);
+  w.key("awake_max_per_trial");
+  write_stats(w, a.awake_max_per_trial);
 
   w.key("phases").begin_array();
   for (const PhaseAggregate& ph : a.phases) {
@@ -463,6 +489,13 @@ std::string format_profile(const RunProfile& p, std::size_t top_n) {
      << " deliveries=" << p.deliveries << " events=" << p.events
      << " rounds=" << p.rounds << " time_units=" << fmt_double(p.time_units)
      << '\n';
+  if (p.awake_rounds.count() > 0) {
+    os << "awake_rounds: total=" << p.awake_total
+       << " p50=" << p.awake_rounds.approx_quantile(0.5)
+       << " p90=" << p.awake_rounds.approx_quantile(0.9)
+       << " max=" << p.awake_max << " sleep_dropped=" << p.sleep_dropped
+       << '\n';
+  }
 
   os << "phases (by messages):\n";
   std::vector<TextRow> rows;
@@ -533,6 +566,14 @@ std::string format_aggregate(const ProfileAggregate& a, std::size_t top_n) {
        << " p50=" << fmt_double(a.time_units.quantile(0.5))
        << " max=" << fmt_double(a.time_units.max()) << '\n';
   }
+  if (a.awake_rounds.count() > 0) {
+    os << "awake_rounds: total=" << a.awake_total
+       << " p50=" << a.awake_rounds.approx_quantile(0.5)
+       << " p90=" << a.awake_rounds.approx_quantile(0.9)
+       << " max=" << a.awake_max << " sleep_dropped=" << a.sleep_dropped
+       << " max/trial p50=" << fmt_double(a.awake_max_per_trial.quantile(0.5))
+       << '\n';
+  }
 
   os << "phases (by messages):\n";
   std::vector<TextRow> rows;
@@ -587,6 +628,15 @@ std::string format_profile_document(const json::Value& doc,
          << " time_units=" << fmt_double(get_num(*totals, "time_units"))
          << '\n';
     }
+    const json::Value* awake = doc.find("awake_rounds");
+    if (awake != nullptr && get_u64(*awake, "count") > 0 && totals != nullptr) {
+      const LogHistogram h = read_histogram(*awake);
+      os << "awake_rounds: total=" << get_u64(*totals, "awake_total")
+         << " p50=" << h.approx_quantile(0.5)
+         << " p90=" << h.approx_quantile(0.9)
+         << " max=" << get_u64(*totals, "awake_max")
+         << " sleep_dropped=" << get_u64(*totals, "sleep_dropped") << '\n';
+    }
   } else {
     os << "profile aggregate over " << get_u64(doc, "trials") << " trials\n";
     if (totals != nullptr) {
@@ -600,6 +650,15 @@ std::string format_profile_document(const json::Value& doc,
          << " p50=" << fmt_double(get_num(*mpt, "p50"))
          << " p90=" << fmt_double(get_num(*mpt, "p90"))
          << " max=" << fmt_double(get_num(*mpt, "max")) << '\n';
+    }
+    const json::Value* awake = doc.find("awake_rounds");
+    if (awake != nullptr && get_u64(*awake, "count") > 0 && totals != nullptr) {
+      const LogHistogram h = read_histogram(*awake);
+      os << "awake_rounds: total=" << get_u64(*totals, "awake_total")
+         << " p50=" << h.approx_quantile(0.5)
+         << " p90=" << h.approx_quantile(0.9)
+         << " max=" << get_u64(*totals, "awake_max")
+         << " sleep_dropped=" << get_u64(*totals, "sleep_dropped") << '\n';
     }
   }
 

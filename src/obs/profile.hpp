@@ -100,6 +100,16 @@ struct RunProfile {
   std::uint64_t rounds = 0;
   double time_units = 0.0;
 
+  // Sleeping-model awake accounting (sim::RunResult::awake_rounds). All-zero
+  // for families that never declare sleep — awake accounting is maintained
+  // for every run, so these stay meaningful (awake_max == rounds a node was
+  // stepped) even outside the sleeping model.
+  std::uint64_t awake_total = 0;  ///< sum over nodes of per-node awake rounds
+  std::uint64_t awake_max = 0;    ///< max per-node awake rounds — the run's
+                                  ///< measured awake complexity
+  std::uint64_t sleep_dropped = 0;  ///< messages dropped at sleeping nodes
+  LogHistogram awake_rounds;  ///< per-node awake-round distribution (all nodes)
+
   std::vector<PhaseProfile> phases;    ///< phase-id order; [0] = "(unphased)"
   std::vector<ClassProfile> classes;   ///< class-id order; [0] = "node"
   std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< name-sorted
@@ -145,8 +155,13 @@ struct ProfileAggregate {
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
   std::uint64_t events = 0;
+  std::uint64_t awake_total = 0;    ///< summed across trials
+  std::uint64_t awake_max = 0;      ///< max across trials
+  std::uint64_t sleep_dropped = 0;  ///< summed across trials
+  LogHistogram awake_rounds;        ///< merged per-node distributions
   SampleStats messages_per_trial;
   SampleStats time_units;
+  SampleStats awake_max_per_trial;  ///< per-trial awake complexity
   std::vector<PhaseAggregate> phases;  ///< name-sorted
   std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< name-sorted
   EngineProfile engine;  ///< sums / maxima / merged histograms across trials

@@ -46,7 +46,17 @@ double objective_value(Objective objective, const obs::RunProfile& profile) {
       return profile.time_units;
     case Objective::kRhoAwk:
     default:
-      return static_cast<double>(profile.rho_awk);
+      // Measured awake complexity, not the schedule's rho_awk proxy. A
+      // profile with nodes but an empty awake_rounds histogram has no awake
+      // attribution — scoring it 0 would make every such candidate look like
+      // a non-event and silently poison the hunt, so refuse instead.
+      RISE_CHECK_MSG(
+          profile.num_nodes == 0 || profile.awake_rounds.count() > 0,
+          "objective rho_awk requires awake attribution, but the profile for '"
+              << profile.algorithm << "' (n=" << profile.num_nodes
+              << ") carries an empty awake_rounds histogram — re-run with "
+                 "awake accounting instead of scoring the proxy");
+      return static_cast<double>(profile.awake_max);
   }
 }
 
@@ -72,6 +82,12 @@ double envelope_bound(Objective objective, const obs::RunProfile& profile) {
       return 0.0;
     case Objective::kRhoAwk:
     default:
+      // Sleeping-model families pay O(log n) awake rounds w.h.p.
+      // (Ghaffari–Portmann); constants calibrated with headroom on the
+      // conformance grid (tests/test_complexity_conformance.cpp).
+      if (family == "smis" || family == "smatching") {
+        return n >= 2 ? 16.0 * std::log2(n) + 32.0 : 32.0;
+      }
       return n >= 1 ? n - 1.0 : 0.0;
   }
 }

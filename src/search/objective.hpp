@@ -5,9 +5,12 @@
 //   messages — total message complexity (Theorems 1-3 trade this off);
 //   time     — tau-normalized completion time, the awake-distance-relative
 //              measure of Definition 2;
-//   rho_awk  — the awake distance rho_awk(G, A0) itself (Eq. 1): maximizing
-//              it hunts wake schedules that stretch the very yardstick the
-//              time bounds are stated against.
+//   rho_awk  — measured awake complexity: the maximum per-node awake rounds
+//              the run actually paid (sim::RunResult::awake_rounds, surfaced
+//              as RunProfile::awake_max). This used to be the schedule's
+//              awake-distance *proxy* rho_awk(G, A0); with first-class awake
+//              accounting the hunt maximizes the true cost, which is what
+//              the sleeping-model families (smis, smatching) are bounded on.
 //
 // envelope_bound() returns the matching analytical envelope from the
 // conformance suite (tests/test_complexity_conformance.cpp) so hunt reports
@@ -35,7 +38,11 @@ const char* objective_name(Objective objective);
 /// Inverse of objective_name; CheckError on unknown names.
 Objective parse_objective(const std::string& name);
 
-/// The objective's value on a completed run.
+/// The objective's value on a completed run. For kRhoAwk the profile must
+/// carry awake attribution (a non-empty awake_rounds histogram whenever
+/// num_nodes > 0) — profiles written before awake accounting landed, or
+/// assembled by hand without it, fail fast with CheckError instead of
+/// silently scoring 0 and poisoning the hunt.
 double objective_value(Objective objective, const obs::RunProfile& profile);
 
 /// The analytical worst-case envelope for this objective on this run's
@@ -45,7 +52,11 @@ double objective_value(Objective objective, const obs::RunProfile& profile);
 ///             fast_wakeup 60 n^1.5 sqrt(ln n); fip06 2(n-1).
 ///   time:     flooding rho_awk (Theorem: flooding completes in exactly
 ///             rho_awk tau-units); fast_wakeup 30 rounds.
-///   rho_awk:  n - 1 (eccentricity bound on any connected instance).
+///   rho_awk:  smis/smatching 16 log2 n + 32 (Ghaffari–Portmann O(log n)
+///             awake rounds, constants calibrated on the conformance grid);
+///             all other families n - 1 (a node is stepped at most once per
+///             round and every family quiesces within n - 1 active rounds
+///             per node on the conformance grid).
 double envelope_bound(Objective objective, const obs::RunProfile& profile);
 
 }  // namespace rise::search

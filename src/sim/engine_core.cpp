@@ -45,6 +45,7 @@ void EngineCore::init_run_state(Time tau, std::uint64_t seed) {
   awake_.assign(n, 0);
   result_.wake_time.assign(n, kNever);
   result_.outputs.assign(n, kNoOutput);
+  result_.awake_rounds.assign(n, 0);
   // Zero the scalar metrics in place while keeping the recycled per-node
   // counter buffers.
   auto sent = std::move(result_.metrics.sent_per_node);

@@ -125,6 +125,7 @@ class AsyncRunner {
   RunResult run() {
     const Instance& instance = core_.instance();
     Metrics& metrics = core_.result().metrics;
+    std::vector<std::uint32_t>& awake_rounds = core_.result().awake_rounds;
     TraceSink* trace = core_.trace();
     while (!events_.empty()) {
       // Consume the front event in place: copy the scalars, steal the
@@ -144,9 +145,15 @@ class AsyncRunner {
                          << limits_.max_events << ") — runaway algorithm?");
       switch (kind) {
         case EventKind::kWake:
-          wake_node(node, WakeCause::kAdversary);
+          // A duplicate adversary wake of an already-awake node is a no-op
+          // and costs the node nothing.
+          if (!core_.is_awake(node)) {
+            ++awake_rounds[node];
+            wake_node(node, WakeCause::kAdversary);
+          }
           break;
         case EventKind::kDeliver: {
+          ++awake_rounds[node];
           core_.account_delivery(node, now_);
           if (trace != nullptr) {
             trace->on_deliver(now_, instance.port_to_neighbor(node, port),
@@ -234,6 +241,9 @@ class SyncRunnerContext final : public CoreContext {
     return engine_.local_round(node_);
   }
   void request_tick() override { engine_.request_tick(node_); }
+  void sleep_until(Time round) override {
+    engine_.sleep_until(node_, round);
+  }
 
  private:
   SyncRunner<Handler>& engine_;
@@ -255,10 +265,12 @@ class SyncRunner {
     const NodeId n = instance.num_nodes();
     if (workspace_ != nullptr) {
       wake_round_ = std::move(workspace_->wake_round);
+      asleep_until_ = std::move(workspace_->asleep_until);
       inbox_ = std::move(workspace_->inbox);
       next_inbox_ = std::move(workspace_->next_inbox);
     }
     wake_round_.assign(n, kNever);
+    asleep_until_.assign(n, 0);
     reset_boxes(inbox_, n);
     reset_boxes(next_inbox_, n);
     for (const auto& [t, u] : schedule.wakes) {
@@ -270,13 +282,18 @@ class SyncRunner {
   ~SyncRunner() {
     if (workspace_ == nullptr) return;
     workspace_->wake_round = std::move(wake_round_);
+    workspace_->asleep_until = std::move(asleep_until_);
     workspace_->inbox = std::move(inbox_);
     workspace_->next_inbox = std::move(next_inbox_);
   }
 
   RunResult run() {
-    const NodeId n = core_.instance().num_nodes();
+    const Instance& instance = core_.instance();
+    const NodeId n = instance.num_nodes();
     Metrics& metrics = core_.result().metrics;
+    std::vector<std::uint32_t>& awake_rounds = core_.result().awake_rounds;
+    TraceSink* trace = core_.trace();
+    const bool sleeping = limits_.sleeping_model;
     for (round_ = 0;; ++round_) {
       RISE_CHECK_MSG(round_ <= limits_.max_rounds,
                      "sync engine exceeded max_rounds");
@@ -284,7 +301,26 @@ class SyncRunner {
       std::swap(inbox_, next_inbox_);
       for (auto& box : next_inbox_) box.clear();
 
-      // 2. Adversary wake-ups scheduled for this round.
+      // 1b. Sleeping model: drop deliveries at declared-asleep nodes, then
+      // trace the survivors. (The legacy path traces deliveries eagerly at
+      // send time; naps make delivery conditional, so the sleeping path
+      // defers the on_deliver record until the nap filter has run.)
+      if (sleeping) {
+        for (NodeId u = 0; u < n; ++u) {
+          if (inbox_[u].empty()) continue;
+          if (is_asleep(u)) {
+            metrics.sleep_dropped += inbox_[u].size();
+            inbox_[u].clear();
+          } else if (trace != nullptr) {
+            for (const Incoming& in : inbox_[u]) {
+              trace->on_deliver(round_, instance.port_to_neighbor(u, in.port),
+                                u, in.msg);
+            }
+          }
+        }
+      }
+
+      // 2. Adversary wake-ups and sleep expiries scheduled for this round.
       std::vector<NodeId> active;
       std::set<NodeId> adversary_woken;
       if (const auto it = pending_wakes_.find(round_);
@@ -295,6 +331,13 @@ class SyncRunner {
         }
         pending_wakes_.erase(it);
       }
+      if (const auto it = pending_sleep_wakes_.find(round_);
+          it != pending_sleep_wakes_.end()) {
+        // A node's nap ends at its declared round: it is stepped again
+        // (usually with an empty inbox) so it can resume its protocol.
+        for (NodeId u : it->second) active.push_back(u);
+        pending_sleep_wakes_.erase(it);
+      }
       for (NodeId u = 0; u < n; ++u) {
         if (!inbox_[u].empty()) active.push_back(u);
       }
@@ -303,16 +346,29 @@ class SyncRunner {
 
       std::sort(active.begin(), active.end());
       active.erase(std::unique(active.begin(), active.end()), active.end());
+      if (sleeping) {
+        // Declared-asleep nodes receive no events at all — an adversary
+        // wake or stale tick request aimed at a napping node evaporates.
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [this](NodeId u) { return is_asleep(u); }),
+                     active.end());
+      }
 
       if (active.empty()) {
-        if (pending_wakes_.empty()) break;  // quiescent
-        // Fast-forward idle rounds to the next scheduled wake-up.
-        round_ = pending_wakes_.begin()->first - 1;
+        Time next = pending_wakes_.empty() ? kNever
+                                           : pending_wakes_.begin()->first;
+        if (!pending_sleep_wakes_.empty()) {
+          next = std::min(next, pending_sleep_wakes_.begin()->first);
+        }
+        if (next == kNever) break;  // quiescent
+        // Fast-forward idle rounds to the next scheduled wake-up or nap end.
+        round_ = next - 1;
         continue;
       }
 
       // 3. Step every active node.
       for (NodeId u : active) {
+        ++awake_rounds[u];
         ctx_.attach(u);
         if (!core_.is_awake(u)) {
           const WakeCause cause = adversary_woken.count(u)
@@ -347,7 +403,11 @@ class SyncRunner {
     const NodeId to = instance.port_to_neighbor(from, p);
     if (core_.trace() != nullptr) {
       core_.trace()->on_send(round_, from, to, msg);
-      core_.trace()->on_deliver(round_ + 1, from, to, msg);
+      // Sleeping model: delivery is conditional on the receiver being awake
+      // next round, so run() traces it after the nap filter instead.
+      if (!limits_.sleeping_model) {
+        core_.trace()->on_deliver(round_ + 1, from, to, msg);
+      }
     }
     const Port receiver_port = instance.reverse_port(from, p);
     next_inbox_[to].push_back(Incoming{receiver_port, std::move(msg)});
@@ -358,6 +418,20 @@ class SyncRunner {
     return core_.is_awake(u) ? (round_ - wake_round_[u] + 1) : 0;
   }
   void request_tick(NodeId u) { tick_requests_.insert(u); }
+
+  /// Context::sleep_until, engine side: the node naps over rounds
+  /// (round_, target) exclusive and is stepped again at `target`.
+  void sleep_until(NodeId u, Time target) {
+    RISE_CHECK_MSG(limits_.sleeping_model,
+                   "sleep_until requires SyncRunLimits::sleeping_model");
+    RISE_CHECK_MSG(target > round_,
+                   "sleep_until(" << target << ") in round " << round_
+                                  << " must target a strictly future round");
+    RISE_CHECK_MSG(asleep_until_[u] <= round_,
+                   "node " << u << " re-declared sleep while a nap is pending");
+    asleep_until_[u] = target;
+    pending_sleep_wakes_[target].push_back(u);
+  }
 
  private:
   /// Clears each recycled inbox (an aborted run can leave messages behind)
@@ -375,11 +449,17 @@ class SyncRunner {
   RunWorkspace* workspace_;
   obs::Probe* probe_ = nullptr;
 
+  /// True while u is inside a declared nap: asleep_until_[u] is the round
+  /// the nap ends at, and a node with no pending nap has it <= round_.
+  bool is_asleep(NodeId u) const { return asleep_until_[u] > round_; }
+
   Time round_ = 0;
   std::vector<Time> wake_round_;
+  std::vector<Time> asleep_until_;
   std::vector<std::vector<Incoming>> inbox_;
   std::vector<std::vector<Incoming>> next_inbox_;
   std::map<Time, std::vector<NodeId>> pending_wakes_;
+  std::map<Time, std::vector<NodeId>> pending_sleep_wakes_;
   std::set<NodeId> tick_requests_;
 };
 

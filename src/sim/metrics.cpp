@@ -36,6 +36,17 @@ std::uint64_t RunResult::awake_node_ticks() const {
   return total;
 }
 
+std::uint64_t RunResult::total_awake_rounds() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t r : awake_rounds) total += r;
+  return total;
+}
+
+std::uint32_t RunResult::max_awake_rounds() const {
+  if (awake_rounds.empty()) return 0;
+  return *std::max_element(awake_rounds.begin(), awake_rounds.end());
+}
+
 Time RunResult::wakeup_span() const {
   if (wake_time.empty()) return 0;
   Time lo = kNever, hi = 0;

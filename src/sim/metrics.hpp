@@ -15,6 +15,10 @@ struct Metrics {
   std::uint64_t deliveries = 0;  ///< messages delivered (== sent at the end)
   std::uint64_t events = 0;      ///< engine events processed
 
+  /// Sleeping model only: messages that arrived at a node during one of its
+  /// declared-sleep rounds and were dropped (send charged, no delivery).
+  std::uint64_t sleep_dropped = 0;
+
   Time first_wake = kNever;
   Time last_wake = 0;
   Time last_delivery = 0;
@@ -36,11 +40,23 @@ struct RunResult {
   std::vector<Time> wake_time;          ///< kNever where still asleep
   std::vector<std::uint64_t> outputs;   ///< kNoOutput where unset
 
+  /// Per-node awake-round accounting (the sleeping model's complexity
+  /// measure, Ghaffari–Portmann). Synchronous engine: the number of rounds
+  /// the node was stepped — declared-sleep rounds and post-quiescence idle
+  /// rounds cost nothing. Asynchronous engine: the number of events the node
+  /// handled (its wake-up plus every delivery), the tick-free analogue.
+  std::vector<std::uint32_t> awake_rounds;
+
   bool all_awake() const;
   NodeId awake_count() const;
 
   /// max over nodes of (wake_time - first_wake); kNever if some node slept.
   Time wakeup_span() const;
+
+  /// Sum / max over nodes of awake_rounds. max_awake_rounds is the run's
+  /// awake complexity (the quantity the sleeping-model envelopes bound).
+  std::uint64_t total_awake_rounds() const;
+  std::uint32_t max_awake_rounds() const;
 
   /// Total node-ticks spent awake up to the last event — a proxy for the
   /// energy consumption the paper's introduction motivates (Wake-on-LAN

@@ -22,6 +22,11 @@
 // is recorded, so metrics.deliveries <= metrics.messages always holds, with
 // equality exactly when no delivery was truncated. Traces show an on_send
 // with no matching on_deliver for dropped messages.
+//
+// The sleeping model (SyncRunLimits::sleeping_model; DESIGN.md §13) reuses
+// the same send-charged/no-delivery convention: a message arriving at a node
+// during one of its declared-sleep rounds (Context::sleep_until) is dropped,
+// counted in Metrics::sleep_dropped, and never traced as delivered.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +39,7 @@
 #include "sim/message.hpp"
 #include "sim/types.hpp"
 #include "support/bitio.hpp"
+#include "support/check.hpp"
 #include "support/rng.hpp"
 
 namespace rise::sim {
@@ -90,6 +96,17 @@ class Context {
   /// incoming messages (used by algorithms with internal countdowns).
   virtual void request_tick() = 0;
 
+  /// Sleeping model (synchronous engine with SyncRunLimits::sleeping_model):
+  /// declare this node asleep from the next round until the start of round
+  /// `round` (exclusive of `round` itself — the node is stepped again, with
+  /// an empty inbox, at round `round`). While asleep the node is never
+  /// stepped, pays no awake cost, and every message arriving at it is
+  /// dropped (see the header comment). `round` must be strictly in the
+  /// future, and a node may not re-declare sleep while a declaration is
+  /// still pending. The default throws: fakes and the asynchronous engine
+  /// have no sleeping rounds.
+  virtual void sleep_until(Time round);
+
   /// Private unbiased randomness (deterministic per run seed and node).
   virtual Rng& rng() = 0;
 
@@ -105,6 +122,12 @@ class Context {
   /// changes the run. The default suits Context fakes in tests.
   virtual obs::NodeProbe probe() { return {}; }
 };
+
+inline void Context::sleep_until(Time /*round*/) {
+  RISE_CHECK_MSG(false,
+                 "sleep_until requires the synchronous engine with "
+                 "SyncRunLimits::sleeping_model enabled");
+}
 
 class Process {
  public:

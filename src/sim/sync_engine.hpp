@@ -10,6 +10,14 @@
 // just woke up, or it called Context::request_tick() in the previous round;
 // quiescence (no inbox, no pending wakes, no tick requests) terminates the
 // run. This keeps simulated complexity proportional to actual activity.
+//
+// Sleeping model (SyncRunLimits::sleeping_model): nodes may additionally
+// declare themselves asleep with Context::sleep_until(r) — they are not
+// stepped again before round r, pay no awake cost, and messages arriving
+// during the nap are dropped. This mode deliberately grants nodes the
+// synchronized global clock the sleeping-model literature assumes
+// (Context::now() as a round number), a documented divergence from the
+// paper's footnote-4 no-global-clock stance; see DESIGN.md §13.
 #pragma once
 
 #include "sim/adversary.hpp"
@@ -24,6 +32,13 @@ namespace rise::sim {
 struct SyncRunLimits {
   std::uint64_t max_rounds = 10'000'000;
   std::uint64_t max_messages = 500'000'000;
+
+  /// Enables the sleeping model (DESIGN.md §13): Context::sleep_until
+  /// becomes legal, declared-asleep nodes are never stepped, and messages
+  /// arriving at them are dropped (counted in Metrics::sleep_dropped).
+  /// Off, the engine reproduces the historical lock-step semantics (and
+  /// traces) bit for bit.
+  bool sleeping_model = false;
 };
 
 class SyncEngine {

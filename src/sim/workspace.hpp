@@ -48,6 +48,7 @@ struct RunWorkspace {
 
   // Synchronous engine storage.
   std::vector<Time> wake_round;
+  std::vector<Time> asleep_until;  // sleeping model (declared naps)
   std::vector<std::vector<Incoming>> inbox;
   std::vector<std::vector<Incoming>> next_inbox;
 

@@ -108,6 +108,35 @@ TEST(ShrinkScenario, PreservesThePredicate) {
   EXPECT_NE(result.scenario.spec.delay, "unit");
 }
 
+TEST(ShrinkScenario, PreservesSleepingModelValidity) {
+  // Sleeping-model scenarios are synchronous (delay pinned to "unit") and
+  // their algorithm carries the sleeping flag; the shrinker never mutates
+  // the algorithm or un-pins the delay, so every candidate along the shrink
+  // path is still a valid sleeping run. Pin that: shrink a sampled sleeping
+  // scenario to its fixed point and re-run every dimension's floor through
+  // the checked oracle.
+  GeneratorOptions options;
+  options.families = {"sleeping"};
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const Scenario s = sample_scenario(11, i, options);
+    ASSERT_EQ(s.family, "sleeping");
+    ASSERT_EQ(s.spec.delay, "unit");
+    ASSERT_TRUE(s.spec.algorithm == "smis" || s.spec.algorithm == "smatching")
+        << s.spec.algorithm;
+    const auto valid_sleeping_run = [&s](const Scenario& c) {
+      EXPECT_EQ(c.spec.algorithm, s.spec.algorithm);
+      EXPECT_EQ(c.spec.delay, "unit");
+      return run_checked(c).error.empty();
+    };
+    ASSERT_TRUE(valid_sleeping_run(s)) << repro_command(s);
+    const auto result = shrink_scenario(s, valid_sleeping_run);
+    EXPECT_EQ(result.scenario.spec.algorithm, s.spec.algorithm);
+    EXPECT_EQ(result.scenario.spec.delay, "unit");
+    EXPECT_TRUE(valid_sleeping_run(result.scenario))
+        << repro_command(result.scenario);
+  }
+}
+
 TEST(RunFuzz, CleanCampaignAcrossAllFamilies) {
   FuzzOptions options;
   options.trials = 40;

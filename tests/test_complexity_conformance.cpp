@@ -151,6 +151,62 @@ INSTANTIATE_TEST_SUITE_P(
              (param_info.param.large ? "_large" : "_small");
     });
 
+// ---- sleeping-model awake-complexity conformance (PR 9) ------------------
+//
+// Ghaffari–Portmann sleeping MIS and matching decide in O(log n) awake
+// rounds w.h.p.; contenders pay O(1) awake rounds per 3-round window and
+// deciders pay O(1) nap check-ins. The calibrated envelope 16 log2 n + 32
+// (the same formula search::envelope_bound reports, pinned equal in
+// test_search_hunt.cpp) leaves several-fold headroom over measured runs on
+// this grid while a linear regression — a node kept awake every round, as
+// the pre-sleeping proxy would hide — overshoots it from n = 144 up.
+// tools/check_awake_conformance.py asserts the same envelope in CI from
+// rise_cli profile documents.
+
+double awake_envelope(double n) { return 16.0 * std::log2(n) + 32.0; }
+
+TEST(AwakeConformance, SleepingFamiliesStayInsideTheLogEnvelope) {
+  for (const std::string algorithm : {"smis", "smatching"}) {
+    for (const auto& family : graph_families()) {
+      for (const bool large : {false, true}) {
+        app::ExperimentSpec spec;
+        spec.algorithm = algorithm;
+        spec.graph = large ? family.large : family.small;
+        spec.schedule = "single";
+        spec.seed = 7;
+        const app::ProfiledReport run = app::run_profiled(spec);
+        const obs::RunProfile& p = run.profile;
+        const std::string what =
+            algorithm + " on " + spec.graph + " (single wake)";
+        ASSERT_TRUE(run.report.result.all_awake()) << what;
+
+        // The awake accounting is complete: one histogram entry per node,
+        // totals consistent, and every send either delivered or dropped at
+        // a declared-sleeping node.
+        EXPECT_EQ(p.awake_rounds.count(), p.num_nodes) << what;
+        EXPECT_EQ(p.awake_rounds.sum(), p.awake_total) << what;
+        EXPECT_EQ(p.awake_rounds.max(), p.awake_max) << what;
+        EXPECT_EQ(p.deliveries + p.sleep_dropped, p.messages) << what;
+        EXPECT_GT(p.sleep_dropped, 0u) << what;
+
+        // The awake-complexity envelope: max per-node awake rounds stays
+        // O(log n) even under the adversarial single wake-up, where the
+        // run itself lasts Omega(diameter) rounds.
+        const double n = static_cast<double>(p.num_nodes);
+        EXPECT_LT(static_cast<double>(p.awake_max), awake_envelope(n))
+            << what << ": awake_max=" << p.awake_max << " over " << p.rounds
+            << " rounds";
+        // And the measure is meaningfully smaller than the run length on
+        // the large diameter-stretched instances — awake complexity is a
+        // different yardstick than round complexity.
+        if (large) {
+          EXPECT_LT(p.awake_max, p.rounds) << what;
+        }
+      }
+    }
+  }
+}
+
 TEST(Conformance, FloodingPhaseCarriesEveryMessage) {
   // The acceptance-spec scenario: flooding over the 32x32 grid emits a
   // profile whose single algorithm phase accounts for every message.

@@ -19,6 +19,7 @@
 #include "algo/flooding.hpp"
 #include "algo/gossip.hpp"
 #include "algo/ranked_dfs.hpp"
+#include "algo/sleeping.hpp"
 #include "graph/generators.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/sync_engine.hpp"
@@ -176,6 +177,60 @@ TEST(GoldenTraces, SyncGossipWithTicks) {
   const auto r = sim::run_sync(inst, sim::wake_single(0), 46,
                                algo::push_gossip_factory(10), {}, &sink);
   EXPECT_EQ(fnv1a(digest(r, trace.str())), 3706472348911091400ULL);
+}
+
+// ---- sleeping-model golden traces (PR 9) ---------------------------------
+//
+// The sleeping-model digests additionally pin the awake accounting — the
+// per-node awake-round vector and the sleep-dropped counter — so any change
+// to nap scheduling, drop semantics, or awake charging shows up here. The
+// hashes were generated from the first production sleeping engines (the PR
+// that introduced them) and every later engine must reproduce them.
+
+std::string sleeping_digest(const sim::RunResult& r, const std::string& trace) {
+  std::ostringstream os;
+  os << digest(r, trace) << "|" << r.metrics.sleep_dropped;
+  for (auto v : r.awake_rounds) os << "," << v;
+  return os.str();
+}
+
+sim::SyncRunLimits sleeping_limits() {
+  sim::SyncRunLimits limits;
+  limits.sleeping_model = true;
+  return limits;
+}
+
+TEST(GoldenTraces, SyncSleepingMisStaggeredWakeup) {
+  Rng grng(88);
+  const auto g = graph::connected_gnp(40, 0.15, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  opt.bandwidth = sim::Bandwidth::CONGEST;
+  Rng irng(106);
+  const auto inst = sim::Instance::create(g, opt, irng);
+  std::ostringstream trace;
+  sim::CsvTraceSink sink(trace);
+  Rng srng(29);
+  const auto r =
+      sim::run_sync(inst, sim::staggered_doubling(40, 2, 2.0, srng), 47,
+                    algo::sleeping_mis_factory(), sleeping_limits(), &sink);
+  EXPECT_EQ(fnv1a(sleeping_digest(r, trace.str())), 4340464772212699452ULL);
+}
+
+TEST(GoldenTraces, SyncSleepingMatchingSingleWakeup) {
+  Rng grng(99);
+  const auto g = graph::connected_gnp(36, 0.18, grng);
+  sim::InstanceOptions opt;
+  opt.knowledge = sim::Knowledge::KT0;
+  opt.bandwidth = sim::Bandwidth::CONGEST;
+  Rng irng(107);
+  const auto inst = sim::Instance::create(g, opt, irng);
+  std::ostringstream trace;
+  sim::CsvTraceSink sink(trace);
+  const auto r =
+      sim::run_sync(inst, sim::wake_single(5), 48,
+                    algo::sleeping_matching_factory(), sleeping_limits(), &sink);
+  EXPECT_EQ(fnv1a(sleeping_digest(r, trace.str())), 14952119359751456757ULL);
 }
 
 /// Property: on fresh random graphs (not pinned), the two timeline backends

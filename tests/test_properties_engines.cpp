@@ -8,6 +8,7 @@
 //     run computes — digests match the unprofiled run bit for bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -177,9 +178,11 @@ TEST(FailureInjection, CongestionPenaltyPunishesChattyAlgorithmsOnly) {
 TEST(ProfilingTransparency, ProbeNeverChangesTheRunDigest) {
   // The observation contract (src/obs/probe.hpp): a probe only reads the
   // run — no RNG draws, no control-flow changes. Pin it across 50 sampled
-  // scenarios spanning all five algorithm families, every graph family the
-  // fuzzer knows, both engines, and every delay policy: the profiled run's
-  // digest must be bit-identical to the plain run's.
+  // scenarios spanning all six algorithm families (including the
+  // sleeping-model smis/smatching pair, whose awake accounting and message
+  // drops must be observation-only too), every graph family the fuzzer
+  // knows, both engines, and every delay policy: the profiled run's digest
+  // must be bit-identical to the plain run's.
   constexpr std::uint64_t kCampaignSeed = 0x0B5E55ED;
   for (std::uint64_t index = 0; index < 50; ++index) {
     const check::Scenario s = check::sample_scenario(kCampaignSeed, index);
@@ -188,6 +191,24 @@ TEST(ProfilingTransparency, ProbeNeverChangesTheRunDigest) {
     EXPECT_EQ(check::digest_run(plain.result),
               check::digest_run(profiled.report.result))
         << "trial " << index << ": " << check::repro_command(s);
+    // Awake accounting is itself probe-transparent: the profile's histogram
+    // is exactly the plain run's per-node awake-round vector.
+    std::uint64_t awake_total = 0;
+    std::uint64_t awake_max = 0;
+    for (std::uint32_t a : plain.result.awake_rounds) {
+      awake_total += a;
+      awake_max = std::max<std::uint64_t>(awake_max, a);
+    }
+    EXPECT_EQ(profiled.profile.awake_total, awake_total)
+        << check::repro_command(s);
+    EXPECT_EQ(profiled.profile.awake_max, awake_max)
+        << check::repro_command(s);
+    EXPECT_EQ(profiled.profile.awake_rounds.count(),
+              plain.result.awake_rounds.size())
+        << check::repro_command(s);
+    EXPECT_EQ(profiled.profile.sleep_dropped,
+              plain.result.metrics.sleep_dropped)
+        << check::repro_command(s);
     // While we have the profile: the phase partition invariant holds on
     // every scenario, not just the conformance table's.
     EXPECT_EQ(profiled.profile.phase_message_sum(),

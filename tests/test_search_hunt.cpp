@@ -65,10 +65,33 @@ TEST(HuntObjective, ValuesReadTheProfile) {
   obs::RunProfile p;
   p.messages = 42;
   p.time_units = 7.5;
-  p.rho_awk = 9;
+  p.rho_awk = 9;  // identity only — no longer the rho_awk objective's value
+  p.num_nodes = 3;
+  for (std::uint64_t a : {9u, 4u, 0u}) p.awake_rounds.add(a);
+  p.awake_total = 13;
+  p.awake_max = 9;
   EXPECT_DOUBLE_EQ(objective_value(Objective::kMessages, p), 42.0);
   EXPECT_DOUBLE_EQ(objective_value(Objective::kTime, p), 7.5);
+  // rho_awk reads the *measured* awake complexity, not the schedule proxy.
   EXPECT_DOUBLE_EQ(objective_value(Objective::kRhoAwk, p), 9.0);
+}
+
+// A profile with nodes but no awake attribution (pre-awake-accounting JSON,
+// hand-built fixture) must fail fast on the rho_awk objective instead of
+// silently scoring 0 — a hunt fed such profiles would rank every candidate
+// equal-worst and report a bogus champion.
+TEST(HuntObjective, RhoAwkFailsFastWithoutAwakeAttribution) {
+  obs::RunProfile p;
+  p.algorithm = "flooding";
+  p.num_nodes = 8;
+  p.rho_awk = 5;
+  EXPECT_THROW(objective_value(Objective::kRhoAwk, p), CheckError);
+  // The other objectives don't require awake attribution.
+  EXPECT_NO_THROW(objective_value(Objective::kMessages, p));
+  EXPECT_NO_THROW(objective_value(Objective::kTime, p));
+  // An empty (n = 0) profile is a legitimate zero, not an error.
+  obs::RunProfile empty;
+  EXPECT_DOUBLE_EQ(objective_value(Objective::kRhoAwk, empty), 0.0);
 }
 
 // Envelope formulas must match the conformance suite
@@ -96,6 +119,16 @@ TEST(HuntObjective, EnvelopesMatchConformanceFormulas) {
   p.algorithm = "ranked_dfs:congest";
   EXPECT_DOUBLE_EQ(envelope_bound(Objective::kMessages, p),
                    20.0 * 64.0 * std::log(64.0));
+
+  // Sleeping-model families carry the Ghaffari–Portmann O(log n) awake
+  // envelope; everything else keeps the generic n - 1 bound.
+  p.algorithm = "smis";
+  p.num_nodes = 64;
+  EXPECT_DOUBLE_EQ(envelope_bound(Objective::kRhoAwk, p),
+                   16.0 * std::log2(64.0) + 32.0);
+  p.algorithm = "smatching";
+  EXPECT_DOUBLE_EQ(envelope_bound(Objective::kRhoAwk, p),
+                   16.0 * std::log2(64.0) + 32.0);
 
   p.algorithm = "dkq-like-unknown";
   EXPECT_DOUBLE_EQ(envelope_bound(Objective::kMessages, p), 0.0);

@@ -8,7 +8,9 @@
 // use_virtual_processes — and comparing full-run digests: the complete CSV
 // trace plus wake times, outputs, and every metrics counter.
 //
-// Coverage axes: all five algorithm families and all four advice schemes,
+// Coverage axes: every algorithm family (including the sleeping-model
+// smis/smatching pair, whose digests fold in per-node awake rounds and
+// sleep-dropped counts) and all four advice schemes,
 // both engines (native plus force_sync_engine for the asynchronous ones),
 // both event-queue backends, and dirty-workspace reuse — a single
 // RunWorkspace threaded through interleaved kernel/process runs of
@@ -43,6 +45,10 @@ std::string digest(const sim::RunResult& r, const std::string& trace) {
      << r.metrics.tau;
   for (auto v : r.metrics.sent_per_node) os << "," << v;
   for (auto v : r.metrics.received_per_node) os << "," << v;
+  // Awake accounting is part of "everything observable": the kernel and
+  // Process paths must charge identical awake rounds and sleep drops.
+  os << "|" << r.metrics.sleep_dropped;
+  for (auto v : r.awake_rounds) os << "," << v;
   return os.str();
 }
 
@@ -87,7 +93,8 @@ const std::vector<std::string> kAdviceSchemes = {"fip06", "sqrt", "cen",
                                                  "cen_chain", "spanner:2",
                                                  "cor2"};
 
-const std::vector<std::string> kSyncFamilies = {"fast_wakeup", "gossip:3"};
+const std::vector<std::string> kSyncFamilies = {"fast_wakeup", "gossip:3",
+                                                "smis", "smatching"};
 
 TEST(SimKernels, AsyncFamiliesMatchVirtualPath) {
   for (const auto& algo : kAsyncFamilies) {
@@ -160,6 +167,10 @@ TEST(SimKernels, DirtyWorkspaceReuseIsBitIdentical) {
       {"flooding", false},  {"ranked_dfs", false}, {"flooding", true},
       {"ranked_dfs", true}, {"cen", false},        {"flooding", false},
       {"fast_wakeup", false}, {"gossip:3", false}, {"flooding", false},
+      // Sleeping-model kernels recycle their typeid-tagged state slots and
+      // the engine's asleep_until vector across dirty reuse.
+      {"smis", false},      {"smatching", false},  {"smis", true},
+      {"smatching", true},  {"flooding", false},   {"smis", false},
   };
   sim::RunWorkspace workspace;
   for (const auto& step : steps) {

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Gate the sleeping-model awake-complexity envelope in CI.
+
+Runs ``rise_cli run --profile`` for the sleeping families (smis, smatching)
+over the conformance grid (cgnp / grid / torus at n = 144 and n = 400,
+adversarial single wake-up, fixed seed), reads each emitted run-profile
+document, and fails (exit 1) unless for every run
+
+  * the profile carries complete awake attribution (one awake_rounds
+    histogram entry per node, totals consistent with the histogram),
+  * message conservation holds in its sleeping-model form
+    (deliveries + sleep_dropped == messages, with sleep_dropped > 0 — the
+    nap schedules must actually be exercised), and
+  * the measured awake complexity stays inside the analytical envelope:
+    awake_max <= 16*log2(n) + 32, the same formula stated by
+    search::envelope_bound and asserted by test_complexity_conformance.
+
+The check is a pure function of the pinned seed. Typical use:
+
+    cmake --build build --target rise_cli
+    python3 tools/check_awake_conformance.py --cli build/tools/rise_cli
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+ALGORITHMS = ["smis", "smatching"]
+
+GRAPHS = [
+    # (family, small, large) — the test_complexity_conformance grid.
+    ("cgnp", "cgnp:144:0.0417", "cgnp:400:0.015"),
+    ("grid", "grid:12x12", "grid:20x20"),
+    ("torus", "torus:12x12", "torus:20x20"),
+]
+
+
+def envelope(n):
+    return 16.0 * math.log2(n) + 32.0 if n >= 2 else 32.0
+
+
+def run(cmd):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=False)
+
+
+def check_profile(doc, what, failures):
+    if doc.get("kind") != "run_profile":
+        failures.append(f"{what}: expected a run_profile document, got "
+                        f"{doc.get('kind')!r}")
+        return
+    n = doc["num_nodes"]
+    totals = doc["totals"]
+    hist = doc["awake_rounds"]
+
+    if hist["count"] != n:
+        failures.append(f"{what}: awake_rounds histogram covers "
+                        f"{hist['count']} of {n} nodes")
+    if hist["sum"] != totals["awake_total"]:
+        failures.append(f"{what}: histogram sum {hist['sum']} != "
+                        f"awake_total {totals['awake_total']}")
+    if hist["max"] != totals["awake_max"]:
+        failures.append(f"{what}: histogram max {hist['max']} != "
+                        f"awake_max {totals['awake_max']}")
+    if totals["deliveries"] + totals["sleep_dropped"] != totals["messages"]:
+        failures.append(
+            f"{what}: sleeping conservation violated — deliveries "
+            f"{totals['deliveries']} + sleep_dropped "
+            f"{totals['sleep_dropped']} != messages {totals['messages']}")
+    if totals["sleep_dropped"] == 0:
+        failures.append(f"{what}: sleep_dropped == 0 — the nap schedule "
+                        "was never exercised")
+
+    bound = envelope(n)
+    awake_max = totals["awake_max"]
+    print(f"[gate] {what}: n={n} awake_max={awake_max} "
+          f"envelope={bound:.1f} rounds={totals['rounds']}", flush=True)
+    if awake_max >= bound:
+        failures.append(
+            f"{what}: measured awake complexity {awake_max} EXCEEDS the "
+            f"O(log n) envelope {bound:.1f} (conformance bug)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cli", default="build/tools/rise_cli",
+                        help="path to the rise_cli binary")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="run seed (default 7, the conformance seed)")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="check_awake_")
+    failures = []
+    runs = 0
+    for algo in ALGORITHMS:
+        for family, small, large in GRAPHS:
+            for size, graph in (("small", small), ("large", large)):
+                what = f"{algo}/{family}/{size}"
+                profile_path = os.path.join(
+                    workdir, f"{algo}_{family}_{size}.json")
+                proc = run([
+                    args.cli, "run",
+                    "--graph", graph,
+                    "--algo", algo,
+                    "--schedule", "single",
+                    "--seed", str(args.seed),
+                    "--profile=" + profile_path,
+                    "--no-progress",
+                ])
+                if proc.returncode != 0:
+                    failures.append(f"{what}: rise_cli exited "
+                                    f"{proc.returncode}")
+                    continue
+                with open(profile_path, encoding="utf-8") as f:
+                    doc = json.load(f)
+                check_profile(doc, what, failures)
+                runs += 1
+
+    if failures:
+        print("\ncheck_awake_conformance: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_awake_conformance: OK ({runs} profiled runs inside "
+          "the 16*log2(n)+32 envelope)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -238,6 +238,7 @@ std::string family_for_algorithm(const std::string& algorithm) {
   }
   if (family == "fast_wakeup") return "fast_wakeup";
   if (family == "gossip") return "gossip";
+  if (family == "smis" || family == "smatching") return "sleeping";
   if (family == "fip06" || family == "sqrt" || family == "cen" ||
       family == "cen_chain" || family == "spanner" || family == "cor2") {
     return "advice";
