@@ -503,6 +503,18 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
     }
     sim::SyncRunLimits limits;
     limits.sleeping_model = prepared.sleeping;
+    // Round-parallel stepping (bit-identical for any job count). With no
+    // executor wired in, a process-wide serial executor still routes the
+    // run through the chunked code path — that is what differential tests
+    // and the fuzzer exercise without spawning threads.
+    sim::SyncParallel parallel;
+    if (instruments.trial_jobs > 1) {
+      static sim::SerialChunkExecutor serial_executor;
+      parallel.jobs = instruments.trial_jobs;
+      parallel.executor = instruments.trial_executor != nullptr
+                              ? instruments.trial_executor
+                              : &serial_executor;
+    }
     if (use_kernel) {
       sim::SyncKernelArgs args;
       args.instance = &instance;
@@ -512,6 +524,7 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
       args.trace = instruments.trace;
       args.probe = probe;
       args.workspace = workspace;
+      args.parallel = parallel;
       obs::PhaseTimer timer(probe, "engine.run");
       report.result = prepared.kernel.run_sync(args);
       timer.set_sim_span(report.result.metrics.rounds);
@@ -520,6 +533,7 @@ ExperimentReport execute_prepared(const PreparedExperiment& prepared,
       engine.set_trace(instruments.trace);
       engine.set_probe(probe);
       engine.set_workspace(workspace);
+      engine.set_parallel(parallel);
       obs::PhaseTimer timer(probe, "engine.run");
       report.result = engine.run(prepared.factory, limits);
       timer.set_sim_span(report.result.metrics.rounds);

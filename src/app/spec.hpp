@@ -35,6 +35,7 @@
 #include "sim/delay_policy.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
 #include "sim/workspace.hpp"
@@ -126,6 +127,19 @@ struct RunInstruments {
   /// (test_sim_kernels) — this exists for differential tests and A/B
   /// benchmarks, not because results differ.
   bool use_virtual_processes = false;
+
+  /// Intra-trial parallelism for *synchronous* runs: each stepped round is
+  /// split into this many chunks executed on `trial_executor`. Results are
+  /// bit-identical to trial_jobs == 1 for any value (the engine reduces all
+  /// shared effects in deterministic order); asynchronous runs ignore it —
+  /// an event timeline has no round-level parallelism to expose. With
+  /// trial_jobs > 1 and no executor a serial executor is substituted, which
+  /// exercises the chunked code path without threads.
+  std::uint32_t trial_jobs = 1;
+
+  /// Where round chunks run (e.g. runner::PoolChunkExecutor over the
+  /// campaign pool). Must outlive the run. Null = serial fallback.
+  sim::ChunkExecutor* trial_executor = nullptr;
 
   /// Called once, after the instance / schedule / delay policy are built and
   /// before the engine runs. `delays` is null for synchronous runs.

@@ -23,6 +23,7 @@ struct TrialOutcome {
   bool ran_queue_differential = false;
   bool ran_sync_differential = false;
   bool ran_determinism_replay = false;
+  bool ran_parallel_differential = false;
 };
 
 void fail(TrialOutcome& out, std::string kind,
@@ -47,7 +48,8 @@ bool sync_comparable(const Scenario& s) {
   return s.spec.algorithm == "flooding" && s.spec.delay == "unit";
 }
 
-TrialOutcome run_trial(const Scenario& s, FaultKind fault) {
+TrialOutcome run_trial(const Scenario& s, FaultKind fault,
+                       std::uint32_t trial_jobs) {
   TrialOutcome out;
 
   RunVariant base_variant;
@@ -70,6 +72,26 @@ TrialOutcome run_trial(const Scenario& s, FaultKind fault) {
       fail(out, "nondeterminism",
            {"synchronous replay diverged: digest " + hex(base.digest) +
             " vs " + hex(replay.digest)});
+    }
+    // Round-parallel replay: the chunked step/reduce/scatter path (serial
+    // executor, so the comparison is threadless and deterministic) must be
+    // bit-identical to the sequential engine.
+    if (trial_jobs > 1) {
+      out.ran_parallel_differential = true;
+      RunVariant par = base_variant;
+      par.trial_jobs = trial_jobs;
+      const CheckedRun parallel = run_checked(s, par);
+      if (!parallel.error.empty()) {
+        fail(out, "parallel-divergence",
+             {"trial_jobs=" + std::to_string(trial_jobs) +
+              " replay errored: " + parallel.error});
+      } else if (parallel.digest != base.digest) {
+        fail(out, "parallel-divergence",
+             {"round-parallel replay diverged: trial_jobs=1 digest " +
+              hex(base.digest) + " vs trial_jobs=" +
+              std::to_string(trial_jobs) + " digest " +
+              hex(parallel.digest)});
+      }
     }
   } else {
     out.ran_queue_differential = true;
@@ -163,7 +185,10 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     runner::ThreadPool pool(options.jobs);
     report.jobs = pool.num_threads();
     for (std::uint64_t i = 0; i < options.trials; ++i) {
-      pool.submit([&, i] { outcomes[i] = run_trial(scenarios[i], options.fault); });
+      pool.submit([&, i] {
+        outcomes[i] = run_trial(scenarios[i], options.fault,
+                                options.trial_jobs);
+      });
     }
     pool.wait_idle();
   }
@@ -173,6 +198,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     report.queue_differentials += out.ran_queue_differential ? 1 : 0;
     report.sync_differentials += out.ran_sync_differential ? 1 : 0;
     report.determinism_replays += out.ran_determinism_replay ? 1 : 0;
+    report.parallel_differentials += out.ran_parallel_differential ? 1 : 0;
     if (!out.failed) continue;
     ++report.failing_trials;
     if (report.failures.size() >= options.max_failures) continue;
@@ -191,7 +217,8 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       const ShrinkResult shrunk = shrink_scenario(
           scenarios[i],
           [&](const Scenario& cand) {
-            const TrialOutcome o = run_trial(cand, options.fault);
+            const TrialOutcome o =
+                run_trial(cand, options.fault, options.trial_jobs);
             return o.failed && o.kind == kind;
           });
       f.shrunk = shrunk.scenario;
@@ -207,7 +234,8 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
   if (options.verify_threads) {
     report.threads_verified = true;
     for (std::uint64_t i = 0; i < options.trials; ++i) {
-      const TrialOutcome serial = run_trial(scenarios[i], options.fault);
+      const TrialOutcome serial =
+          run_trial(scenarios[i], options.fault, options.trial_jobs);
       if (serial.digest != outcomes[i].digest ||
           serial.failed != outcomes[i].failed) {
         report.threads_verified = false;
@@ -237,7 +265,8 @@ std::string format_fuzz(const FuzzReport& report) {
   os << "  differentials: " << report.queue_differentials
      << " bucket-vs-heap, " << report.sync_differentials
      << " async-vs-lock-step, " << report.determinism_replays
-     << " determinism replay(s)\n";
+     << " determinism replay(s), " << report.parallel_differentials
+     << " round-parallel replay(s)\n";
   if (report.corpus_entries > 0) {
     os << "  corpus: " << report.corpus_entries << " entr"
        << (report.corpus_entries == 1 ? "y" : "ies") << " replayed, "

@@ -8,7 +8,9 @@
 //   - asynchronous scenarios: the same scenario pinned to the bucket-ring
 //     and to the binary-heap event queue — all three digests must match
 //     bit-for-bit;
-//   - synchronous scenarios: a second identical run (determinism);
+//   - synchronous scenarios: a second identical run (determinism), plus a
+//     replay through the engine's round-parallel chunked path
+//     (trial_jobs > 1, serial executor) that must digest-match;
 //   - pure flooding under unit delays: the asynchronous run against the
 //     lock-step engine, compared on the model-free digest.
 //
@@ -30,6 +32,10 @@ struct FuzzOptions {
   std::uint64_t trials = 100;
   std::uint64_t seed = 1;
   std::size_t jobs = 1;  ///< worker threads; 0 = all hardware threads
+  /// Synchronous trials are additionally replayed through the engine's
+  /// round-parallel code path with this many chunks (serial executor) and
+  /// must digest-match the sequential run. 1 disables the differential.
+  std::uint32_t trial_jobs = 3;
   GeneratorOptions generator;
   /// Injected into every trial's replays (kNone in production fuzzing).
   FaultKind fault = FaultKind::kNone;
@@ -53,7 +59,7 @@ struct FuzzFailure {
   std::uint32_t shrunk_nodes = 0;  ///< node count of the shrunk scenario
   std::string kind;  ///< "violation" | "error" | "queue-divergence" |
                      ///< "sync-divergence" | "nondeterminism" |
-                     ///< "corpus-divergence"
+                     ///< "parallel-divergence" | "corpus-divergence"
   std::vector<std::string> details;
   std::string repro;  ///< repro_command(shrunk)
 };
@@ -64,6 +70,7 @@ struct FuzzReport {
   std::uint64_t queue_differentials = 0;  ///< bucket-vs-heap comparisons run
   std::uint64_t sync_differentials = 0;   ///< async-vs-lock-step comparisons
   std::uint64_t determinism_replays = 0;  ///< sync same-config replays
+  std::uint64_t parallel_differentials = 0;  ///< sequential-vs-chunked replays
   std::uint64_t corpus_entries = 0;       ///< regression entries replayed
   std::uint64_t corpus_failures = 0;      ///< entries unclean or digest-drifted
   std::size_t jobs = 1;                   ///< resolved worker count

@@ -66,6 +66,10 @@ struct RunVariant {
   sim::EventQueue::Mode queue_mode = sim::EventQueue::Mode::kAuto;
   bool force_sync_engine = false;  ///< async algorithm on the sync engine
   FaultKind fault = FaultKind::kNone;
+  /// Synchronous runs: step each round in this many chunks through the
+  /// engine's parallel code path (serial executor — deterministic and
+  /// threadless). Must digest-match trial_jobs == 1; ignored by async runs.
+  std::uint32_t trial_jobs = 1;
 };
 
 struct CheckedRun {

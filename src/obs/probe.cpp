@@ -4,6 +4,40 @@
 
 namespace rise::obs {
 
+namespace {
+
+/// Thread-local deferral target (see DeferredMarkScope). Plain pointers:
+/// the engine guarantees the scope outlives every probe call it defers.
+struct DeferTarget {
+  std::vector<DeferredMark>* marks = nullptr;
+  const std::uint64_t* seq = nullptr;
+};
+
+thread_local DeferTarget tl_defer;
+
+bool defer(DeferredMark::Kind kind, sim::NodeId node, std::string_view name,
+           std::uint64_t count) {
+  if (tl_defer.marks == nullptr) return false;
+  DeferredMark mark;
+  mark.seq = *tl_defer.seq;
+  mark.kind = kind;
+  mark.node = node;
+  mark.name = name;
+  mark.count = count;
+  tl_defer.marks->push_back(std::move(mark));
+  return true;
+}
+
+}  // namespace
+
+DeferredMarkScope::DeferredMarkScope(std::vector<DeferredMark>* marks,
+                                     const std::uint64_t* seq) {
+  tl_defer.marks = marks;
+  tl_defer.seq = seq;
+}
+
+DeferredMarkScope::~DeferredMarkScope() { tl_defer = DeferTarget{}; }
+
 Probe::Probe() {
   PhaseAccum unphased;
   unphased.name = "(unphased)";
@@ -41,6 +75,7 @@ std::uint32_t Probe::intern_class(std::string_view name) {
 }
 
 void Probe::mark_phase(sim::NodeId node, std::string_view name) {
+  if (defer(DeferredMark::Kind::kPhase, node, name, 0)) return;
   std::uint32_t id = intern_phase(name);
   if (node_phase_[node] == id) return;
   node_phase_[node] = id;
@@ -48,10 +83,12 @@ void Probe::mark_phase(sim::NodeId node, std::string_view name) {
 }
 
 void Probe::mark_class(sim::NodeId node, std::string_view name) {
+  if (defer(DeferredMark::Kind::kClass, node, name, 0)) return;
   node_class_[node] = intern_class(name);
 }
 
 void Probe::add_counter(std::string_view name, std::uint64_t n) {
+  if (defer(DeferredMark::Kind::kCounter, 0, name, n)) return;
   auto it = counters_.find(name);
   if (it != counters_.end()) {
     it->second += n;
@@ -77,6 +114,20 @@ void Probe::add_timer(std::string_view name, double wall_seconds,
   ++t.calls;
   t.wall_seconds += wall_seconds;
   t.sim_ticks += sim_ticks;
+}
+
+void Probe::replay(const DeferredMark& mark) {
+  switch (mark.kind) {
+    case DeferredMark::Kind::kPhase:
+      mark_phase(mark.node, mark.name);
+      break;
+    case DeferredMark::Kind::kClass:
+      mark_class(mark.node, mark.name);
+      break;
+    case DeferredMark::Kind::kCounter:
+      add_counter(mark.name, mark.count);
+      break;
+  }
 }
 
 std::uint64_t Probe::counter(std::string_view name) const {

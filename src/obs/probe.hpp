@@ -39,6 +39,39 @@ struct RunResult;
 
 namespace rise::obs {
 
+/// One algorithm-facing probe mutation recorded during a parallel sync
+/// chunk (SyncRunner::step_parallel) instead of applied immediately:
+/// mark_phase / mark_class / add_counter all mutate shared intern tables,
+/// and a send's phase attribution depends on the exact mark-vs-send
+/// interleaving — so worker threads append DeferredMarks and the engine's
+/// sequential reduction replays them in the sequential order. `seq` is the
+/// number of sends the recording chunk had emitted when the mark happened:
+/// the reduction applies every mark with seq <= s before accounting send s,
+/// which reproduces the sequential interleaving exactly.
+struct DeferredMark {
+  enum class Kind : std::uint8_t { kPhase, kClass, kCounter };
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kPhase;
+  sim::NodeId node = 0;
+  std::string name;
+  std::uint64_t count = 0;  ///< kCounter only
+};
+
+/// Installs thread-local deferral for the calling thread: while a scope is
+/// alive, Probe::mark_phase / mark_class / add_counter append to `marks`
+/// (stamped with *seq at call time) instead of mutating the probe. The
+/// engine-facing probe surface (on_send, on_sync_round, ...) is unaffected
+/// — the engine only calls it from the coordinating thread.
+class DeferredMarkScope {
+ public:
+  DeferredMarkScope(std::vector<DeferredMark>* marks,
+                    const std::uint64_t* seq);
+  ~DeferredMarkScope();
+
+  DeferredMarkScope(const DeferredMarkScope&) = delete;
+  DeferredMarkScope& operator=(const DeferredMarkScope&) = delete;
+};
+
 class Probe {
  public:
   Probe();
@@ -97,6 +130,11 @@ class Probe {
 
   /// Bumps a named monotonic counter.
   void add_counter(std::string_view name, std::uint64_t n = 1);
+
+  /// Applies one recorded mark (see DeferredMark); called by the sync
+  /// engine's parallel reduction, on the coordinating thread, in sequential
+  /// order.
+  void replay(const DeferredMark& mark);
 
   /// Accumulates a completed PhaseTimer span under `name`.
   void add_timer(std::string_view name, double wall_seconds,

@@ -1,7 +1,9 @@
 #include "runner/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <memory>
@@ -43,6 +45,8 @@ struct PreparedPolicy {
   std::uint64_t prepare_seed = 0;        ///< base seed (kSharedConfig only)
   bool shared_config = false;
   bool reuse_workspace = false;
+  std::uint32_t trial_jobs = 1;  ///< intra-trial round chunks (sync runs)
+  sim::ChunkExecutor* trial_executor = nullptr;  ///< where chunks run
 };
 
 /// The campaign's read-through/write-through connection to the result store
@@ -143,6 +147,8 @@ TrialResult execute_trial(const Trial& trial, const TrialFn& run,
       }
       app::RunInstruments instruments;
       if (profile) instruments.probe = &probe;
+      instruments.trial_jobs = policy.trial_jobs;
+      instruments.trial_executor = policy.trial_executor;
       report = app::execute_prepared(*prepared, trial.spec, instruments,
                                      workspace);
       if (profile) {
@@ -393,16 +399,45 @@ CampaignResult run_campaign(const CampaignPlan& plan,
   const auto t0 = Clock::now();
   {
     ProgressReporter progress(trials.size(), options.progress);
-    ThreadPool pool(result.jobs);
+    // trial_jobs > 1: the pool carries jobs x trial_jobs threads so every
+    // concurrently-running trial can fan its rounds out, and an admission
+    // gate caps concurrent trials at `jobs` — the spare threads serve
+    // round chunks (ThreadPool::run_chunks) instead of extra trials. With
+    // trial_jobs == 1 this is exactly the historical pool.
+    const std::uint32_t trial_jobs =
+        std::max<std::uint32_t>(1, options.trial_jobs);
+    ThreadPool pool(result.jobs * trial_jobs);
+    PoolChunkExecutor executor(&pool);
+    if (trial_jobs > 1) {
+      policy.trial_jobs = trial_jobs;
+      policy.trial_executor = &executor;
+    }
+    std::mutex admit_mu;
+    std::condition_variable admit_cv;
+    std::size_t running = 0;
+    const bool gate = trial_jobs > 1;
     for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (gate) {
+        std::unique_lock<std::mutex> lock(admit_mu);
+        admit_cv.wait(lock, [&] { return running < result.jobs; });
+        ++running;
+      }
       // &trials[i] and &result.trials[i] stay valid: neither vector is
       // resized while the pool runs, and each slot is written by exactly
       // one task.
       const Trial* trial = &trials[i];
       TrialResult* slot = &result.trials[i];
-      pool.submit([trial, slot, &plan, &policy, &progress, profile, &sc] {
+      pool.submit([trial, slot, &plan, &policy, &progress, profile, &sc,
+                   &admit_mu, &admit_cv, &running, gate] {
         *slot = execute_or_fetch(*trial, plan.run, profile, policy, sc);
         progress.tick();
+        if (gate) {
+          {
+            std::lock_guard<std::mutex> lock(admit_mu);
+            --running;
+          }
+          admit_cv.notify_one();
+        }
       });
     }
     pool.wait_idle();

@@ -231,6 +231,14 @@ struct CampaignOptions {
   bool progress = false;       ///< completed/total + trials/s + ETA on stderr
   ResultSink* sink = nullptr;  ///< optional observer (e.g. JsonResultSink)
 
+  /// Intra-trial parallelism (synchronous runs only): each trial steps its
+  /// rounds in this many chunks on the campaign pool. The pool is sized
+  /// jobs x trial_jobs, and at most `jobs` trials run concurrently (an
+  /// admission gate keeps the product from oversubscribing), so --jobs x
+  /// --trial-jobs never exceeds the thread budget. Results are bit-identical
+  /// for any value; asynchronous trials ignore it.
+  std::uint32_t trial_jobs = 1;
+
   /// Execute only this shard's trials (global trial indices are preserved
   /// in the results). The default runs the whole campaign.
   ShardSpec shard;

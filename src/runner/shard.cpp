@@ -166,6 +166,10 @@ std::vector<std::string> worker_command(const CampaignPlan& plan,
   }
   cmd.push_back("--jobs");
   cmd.push_back(std::to_string(options.jobs_per_worker));
+  if (options.trial_jobs > 1) {
+    cmd.push_back("--trial-jobs");
+    cmd.push_back(std::to_string(options.trial_jobs));
+  }
   cmd.push_back("--shard");
   cmd.push_back(std::to_string(shard) + "/" +
                 std::to_string(options.workers));

@@ -52,6 +52,9 @@ struct ShardCampaignOptions {
   std::string store_dir;      ///< shared result store (required)
   std::uint32_t workers = 2;  ///< shard count == worker process count
   std::size_t jobs_per_worker = 1;  ///< --jobs forwarded to each worker
+  /// --trial-jobs forwarded to each worker (intra-trial round parallelism;
+  /// see CampaignOptions::trial_jobs). 1 = not forwarded.
+  std::uint32_t trial_jobs = 1;
   int max_restarts = 3;       ///< per-worker crash-restart budget
   bool progress = false;      ///< aggregate multi-shard progress on stderr
   std::string json_path;      ///< merged results document ("" = none)

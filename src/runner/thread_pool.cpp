@@ -95,6 +95,58 @@ bool ThreadPool::pop_or_steal(std::size_t self, Task& out) {
   return false;
 }
 
+bool ThreadPool::claimable_chunk() const {
+  for (const ChunkBatch* b : batches_) {
+    if (b->next < b->count) return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_one_chunk(std::unique_lock<std::mutex>& lock) {
+  for (ChunkBatch* b : batches_) {
+    if (b->next >= b->count) continue;
+    const std::size_t i = b->next++;
+    lock.unlock();
+    b->fn(b->arg, i);
+    lock.lock();
+    // `b` stays valid: run_chunks only unregisters a batch after done ==
+    // count, and this chunk's completion has not been counted yet.
+    if (++b->done == b->count) batch_cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_chunks(std::size_t count, void (*fn)(void*, std::size_t),
+                            void* arg) {
+  RISE_CHECK_MSG(fn != nullptr, "ThreadPool: null chunk function");
+  if (count == 0) return;
+  if (count == 1) {  // nothing to share — skip the registration round-trip
+    fn(arg, 0);
+    return;
+  }
+  ChunkBatch batch{fn, arg, count};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batches_.push_back(&batch);
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Claim chunks inline from our own batch. This guarantees progress no
+  // matter what the workers are doing (they may all be parked inside
+  // run_chunks calls of their own), which is what makes nested use
+  // deadlock-free: worst case the caller runs every chunk itself.
+  while (batch.next < batch.count) {
+    const std::size_t i = batch.next++;
+    lock.unlock();
+    fn(arg, i);
+    lock.lock();
+    ++batch.done;
+  }
+  batch_cv_.wait(lock, [&batch] { return batch.done == batch.count; });
+  batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
+}
+
 void ThreadPool::worker_loop(std::size_t self) {
   tl_pool = this;
   tl_worker = self;
@@ -116,9 +168,12 @@ void ThreadPool::worker_loop(std::size_t self) {
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);
+    if (run_one_chunk(lock)) continue;
     if (queued_ > 0) continue;  // lost a race with a concurrent submit
     if (stopping_) return;
-    work_cv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+    work_cv_.wait(lock, [this] {
+      return queued_ > 0 || stopping_ || claimable_chunk();
+    });
   }
 }
 

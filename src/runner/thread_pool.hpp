@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/parallel.hpp"
+
 namespace rise::runner {
 
 class ThreadPool {
@@ -57,6 +59,16 @@ class ThreadPool {
   /// Idempotent; later submits throw.
   void shutdown();
 
+  /// Runs fn(arg, i) once for every i in [0, count) and returns when all
+  /// calls completed; idle workers help. Allocation-free in steady state
+  /// (the batch lives on the caller's stack) and safe to call from *inside*
+  /// a pool task: the caller claims chunks inline from its own batch, so
+  /// even with every worker busy it simply runs the whole batch itself —
+  /// nested use degrades to a serial loop, it can never deadlock. `fn` must
+  /// not throw and must not block on this pool.
+  void run_chunks(std::size_t count, void (*fn)(void*, std::size_t),
+                  void* arg);
+
   std::size_t num_threads() const { return workers_.size(); }
   std::size_t queue_capacity() const { return capacity_; }
 
@@ -69,9 +81,25 @@ class ThreadPool {
     std::deque<Task> tasks;
   };
 
+  /// One run_chunks call in progress. Lives on the caller's stack; the
+  /// registered pointer and both counters are guarded by mu_.
+  struct ChunkBatch {
+    void (*fn)(void*, std::size_t);
+    void* arg;
+    std::size_t count;
+    std::size_t next = 0;  ///< next unclaimed chunk index
+    std::size_t done = 0;  ///< completed chunks
+  };
+
   void worker_loop(std::size_t self);
   bool pop_or_steal(std::size_t self, Task& out);
   void enqueue(Task task, bool bounded);
+
+  /// Claims and runs one chunk from the oldest batch with work left.
+  /// Expects `lock` held on mu_ (dropped around the chunk body); returns
+  /// false when no batch has an unclaimed chunk.
+  bool run_one_chunk(std::unique_lock<std::mutex>& lock);
+  bool claimable_chunk() const;  ///< under mu_
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -80,11 +108,34 @@ class ThreadPool {
   std::condition_variable work_cv_;   // workers: wait for queued work
   std::condition_variable space_cv_;  // submitters: wait for queue space
   std::condition_variable idle_cv_;   // wait_idle
+  std::condition_variable batch_cv_;  // run_chunks: wait for batch done
+  std::vector<ChunkBatch*> batches_;  ///< active run_chunks calls
   std::size_t queued_ = 0;     ///< tasks sitting in some worker deque
   std::size_t in_flight_ = 0;  ///< queued + currently executing
   std::size_t rr_cursor_ = 0;  ///< round-robin submission target
   std::size_t capacity_;
   bool stopping_ = false;
+};
+
+/// Adapts the pool to the engine's executor interface (sim/parallel.hpp)
+/// so a synchronous run can step round chunks on campaign workers. With a
+/// null pool it degrades to an inline loop (same results — the engine's
+/// parallel path is deterministic for any executor).
+class PoolChunkExecutor final : public sim::ChunkExecutor {
+ public:
+  explicit PoolChunkExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  void run(std::size_t count, void (*fn)(void*, std::size_t),
+           void* arg) override {
+    if (pool_ != nullptr) {
+      pool_->run_chunks(count, fn, arg);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(arg, i);
+    }
+  }
+
+ private:
+  ThreadPool* pool_;
 };
 
 }  // namespace rise::runner

@@ -41,8 +41,18 @@ struct EvalResult {
   double value = -1.0;  ///< failed evaluations sort below every real run
 };
 
+/// How evaluations parallelize *inside* one trial (sync runs only); the
+/// executor fans round chunks out on the hunt pool. Bit-identical to the
+/// serial evaluation for any job count, so objective values — and hence
+/// the whole search trajectory — do not depend on it.
+struct EvalParallel {
+  std::uint32_t trial_jobs = 1;
+  sim::ChunkExecutor* executor = nullptr;
+};
+
 EvalResult evaluate(const check::Scenario& scenario, Objective objective,
-                    runner::PreparedConfigCache& cache) {
+                    runner::PreparedConfigCache& cache,
+                    const EvalParallel& parallel) {
   EvalResult out;
   try {
     const std::shared_ptr<const app::PreparedExperiment> prepared =
@@ -50,6 +60,8 @@ EvalResult evaluate(const check::Scenario& scenario, Objective objective,
     obs::Probe probe;
     app::RunInstruments instruments;
     instruments.probe = &probe;
+    instruments.trial_jobs = parallel.trial_jobs;
+    instruments.trial_executor = parallel.executor;
     app::ExperimentReport report = app::execute_prepared(
         *prepared, scenario.spec, instruments, &worker_workspace());
     const obs::RunProfile profile =
@@ -92,17 +104,32 @@ HuntReport run_hunt(const HuntOptions& options) {
                  "hunt: unknown search algorithm '"
                      << options.algorithm << "' (expected ea|anneal)");
 
-  runner::ThreadPool pool(options.jobs);
+  // The pool carries candidate-level AND round-level workers: trial_jobs
+  // round chunks per in-flight evaluation. Resolve jobs before multiplying
+  // (0 = all hardware threads).
+  const std::uint32_t trial_jobs =
+      std::max<std::uint32_t>(1, options.trial_jobs);
+  const std::size_t jobs = options.jobs == 0
+                               ? runner::ThreadPool::hardware_threads()
+                               : options.jobs;
+  runner::ThreadPool pool(jobs * trial_jobs);
+  runner::PoolChunkExecutor executor(&pool);
+  EvalParallel parallel;
+  if (trial_jobs > 1) {
+    parallel.trial_jobs = trial_jobs;
+    parallel.executor = &executor;
+  }
   runner::PreparedConfigCache cache;
 
   HuntReport report;
   report.objective = options.objective;
   report.algorithm = options.algorithm;
-  report.jobs = pool.num_threads();
+  report.jobs = jobs;  // candidate-level workers, not the raw pool size
 
   // Evaluation 1: the initial genome seeds both parent and best-so-far.
   check::Scenario parent = options.initial;
-  EvalResult parent_eval = evaluate(parent, options.objective, cache);
+  EvalResult parent_eval =
+      evaluate(parent, options.objective, cache, parallel);
   report.evaluations = 1;
   if (!parent_eval.ok) ++report.failed_runs;
   check::Scenario best = parent;
@@ -130,8 +157,8 @@ HuntReport run_hunt(const HuntOptions& options) {
 
     std::vector<EvalResult> slots(batch);
     for (std::size_t i = 0; i < batch; ++i) {
-      pool.submit([&slots, &candidates, &cache, &options, i] {
-        slots[i] = evaluate(candidates[i], options.objective, cache);
+      pool.submit([&slots, &candidates, &cache, &options, &parallel, i] {
+        slots[i] = evaluate(candidates[i], options.objective, cache, parallel);
       });
     }
     pool.wait_idle();
@@ -193,8 +220,8 @@ HuntReport run_hunt(const HuntOptions& options) {
     }
     std::vector<EvalResult> slots(genomes.size());
     for (std::size_t i = 0; i < genomes.size(); ++i) {
-      pool.submit([&slots, &genomes, &cache, &options, i] {
-        slots[i] = evaluate(genomes[i], options.objective, cache);
+      pool.submit([&slots, &genomes, &cache, &options, &parallel, i] {
+        slots[i] = evaluate(genomes[i], options.objective, cache, parallel);
       });
       if (i % kCacheCap == 0 && cache.size() > kCacheCap) {
         // Random genomes never repeat a key; keep the cache bounded while

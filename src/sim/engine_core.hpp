@@ -94,13 +94,29 @@ class EngineCore {
   /// Does NOT call Process::on_wake — the engines do, after their own
   /// engine-specific bookkeeping (e.g. the sync engine's local-round base).
   bool mark_awake(NodeId u, Time t, WakeCause cause) {
+    if (!mark_awake_local(u, t)) return false;
+    account_wake(t, u, cause);
+    return true;
+  }
+
+  /// The node-local half of mark_awake: awake flag and wake_time only —
+  /// both are per-node slots, so a parallel sync chunk may call this from a
+  /// worker thread for nodes it owns. The shared half (metrics min/max and
+  /// the trace event) is applied later via account_wake, in sequential
+  /// order, by the coordinating thread.
+  bool mark_awake_local(NodeId u, Time t) {
     if (awake_[u] != 0) return false;
     awake_[u] = 1;
     result_.wake_time[u] = t;
+    return true;
+  }
+
+  /// The shared half of mark_awake: first/last-wake metrics and the trace
+  /// callback. Coordinator-thread only.
+  void account_wake(Time t, NodeId u, WakeCause cause) {
     result_.metrics.first_wake = std::min(result_.metrics.first_wake, t);
     result_.metrics.last_wake = std::max(result_.metrics.last_wake, t);
     if (trace_ != nullptr) trace_->on_node_wake(t, u, cause);
-    return true;
   }
 
  private:

@@ -24,8 +24,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <exception>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/adversary.hpp"
@@ -33,6 +36,7 @@
 #include "sim/delay_policy.hpp"
 #include "sim/engine_core.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parallel.hpp"
 #include "sim/sync_engine.hpp"
 #include "sim/workspace.hpp"
 #include "support/check.hpp"
@@ -249,33 +253,95 @@ class SyncRunnerContext final : public CoreContext {
   SyncRunner<Handler>& engine_;
 };
 
+/// Context used while stepping a node inside a parallel chunk
+/// (SyncRunner::step_parallel). Sends are *recorded* into the chunk's
+/// outbox instead of applied, and tick requests / naps land in the node's
+/// SyncStepRecord, so the sequential reduction can apply every shared-state
+/// effect in exactly the order the single-thread loop would have. Reads
+/// (now, local_round, rng, advice, probe, ...) touch only state that is
+/// frozen or owned by the stepped node during the step phase.
+template <class Handler>
+class ParSyncContext final : public CoreContext {
+ public:
+  ParSyncContext(SyncRunner<Handler>& engine, EngineCore& core,
+                 SyncChunkOutbox& outbox)
+      : CoreContext(core), engine_(engine), outbox_(outbox) {}
+
+  void attach_step(NodeId u, SyncStepRecord* step) {
+    attach(u);
+    step_ = step;
+  }
+
+  void send(Port p, Message msg) override {
+    engine_.record_send(outbox_, node_, p, std::move(msg));
+  }
+  Time now() const override { return engine_.round(); }
+  std::uint64_t local_round() const override {
+    return engine_.local_round(node_);
+  }
+  void request_tick() override { step_->tick = true; }
+  void sleep_until(Time round) override {
+    engine_.sleep_local(node_, round, *step_);
+  }
+
+ private:
+  SyncRunner<Handler>& engine_;
+  SyncChunkOutbox& outbox_;
+  SyncStepRecord* step_ = nullptr;
+};
+
 template <class Handler>
 class SyncRunner {
  public:
+  /// `parallel` (optional) turns on round-parallel stepping: each stepped
+  /// round is partitioned into `parallel.jobs` contiguous chunks of the
+  /// sorted active set, chunks run on the executor, and a sequential
+  /// reduction applies metrics / trace / probe effects in active-set order
+  /// — so the run is bit-identical to the sequential path for any job
+  /// count. See step_parallel below and DESIGN.md §14.
   SyncRunner(Handler& handler, EngineCore& core, const WakeSchedule& schedule,
-             const SyncRunLimits& limits, RunWorkspace* workspace)
+             const SyncRunLimits& limits, RunWorkspace* workspace,
+             SyncParallel parallel = {})
       : handler_(handler),
         core_(core),
         limits_(limits),
+        parallel_(parallel),
         ctx_(*this, core),
         workspace_(workspace),
         probe_(core.probe()) {
     if (probe_ != nullptr) probe_->set_backend("sync");
     const Instance& instance = core_.instance();
-    const NodeId n = instance.num_nodes();
+    n_ = instance.num_nodes();
     if (workspace_ != nullptr) {
       wake_round_ = std::move(workspace_->wake_round);
       asleep_until_ = std::move(workspace_->asleep_until);
       inbox_ = std::move(workspace_->inbox);
       next_inbox_ = std::move(workspace_->next_inbox);
+      wakes_ = std::move(workspace_->sync_wakes);
+      active_ = std::move(workspace_->sync_active);
+      outboxes_ = std::move(workspace_->sync_outboxes);
     }
-    wake_round_.assign(n, kNever);
-    asleep_until_.assign(n, 0);
-    reset_boxes(inbox_, n);
-    reset_boxes(next_inbox_, n);
+    wake_round_.assign(n_, kNever);
+    asleep_until_.assign(n_, 0);
+    reset_boxes(inbox_, n_);
+    reset_boxes(next_inbox_, n_);
+    wakes_.clear();
     for (const auto& [t, u] : schedule.wakes) {
-      RISE_CHECK(u < n);
-      pending_wakes_[t].push_back(u);
+      RISE_CHECK(u < n_);
+      wakes_.emplace_back(t, u);
+    }
+    // Sorted by (round, node): each round's wake-ups form one contiguous,
+    // node-sorted slice that run() consumes with a cursor and
+    // adversary_woke() binary-searches — replacing a per-run
+    // std::map<Time, vector> whose node allocations broke the steady-state
+    // zero-allocation contract. The insertion order the map preserved
+    // within one round is irrelevant: the active set is sorted and
+    // deduplicated either way, and wake-cause lookup is a membership test.
+    std::sort(wakes_.begin(), wakes_.end());
+    active_.clear();
+    if (parallel_.enabled()) {
+      outboxes_.resize(parallel_.jobs);
+      for (SyncChunkOutbox& ob : outboxes_) ob.reset(parallel_.jobs);
     }
   }
 
@@ -285,13 +351,15 @@ class SyncRunner {
     workspace_->asleep_until = std::move(asleep_until_);
     workspace_->inbox = std::move(inbox_);
     workspace_->next_inbox = std::move(next_inbox_);
+    workspace_->sync_wakes = std::move(wakes_);
+    workspace_->sync_active = std::move(active_);
+    workspace_->sync_outboxes = std::move(outboxes_);
   }
 
   RunResult run() {
     const Instance& instance = core_.instance();
-    const NodeId n = instance.num_nodes();
+    const NodeId n = n_;
     Metrics& metrics = core_.result().metrics;
-    std::vector<std::uint32_t>& awake_rounds = core_.result().awake_rounds;
     TraceSink* trace = core_.trace();
     const bool sleeping = limits_.sleeping_model;
     for (round_ = 0;; ++round_) {
@@ -321,42 +389,43 @@ class SyncRunner {
       }
 
       // 2. Adversary wake-ups and sleep expiries scheduled for this round.
-      std::vector<NodeId> active;
-      std::set<NodeId> adversary_woken;
-      if (const auto it = pending_wakes_.find(round_);
-          it != pending_wakes_.end()) {
-        for (NodeId u : it->second) {
-          active.push_back(u);
-          adversary_woken.insert(u);
-        }
-        pending_wakes_.erase(it);
+      active_.clear();
+      const std::size_t wake_lo = wake_cursor_;
+      while (wake_cursor_ < wakes_.size() &&
+             wakes_[wake_cursor_].first == round_) {
+        active_.push_back(wakes_[wake_cursor_].second);
+        ++wake_cursor_;
       }
+      round_wakes_begin_ = wakes_.data() + wake_lo;
+      round_wakes_end_ = wakes_.data() + wake_cursor_;
       if (const auto it = pending_sleep_wakes_.find(round_);
           it != pending_sleep_wakes_.end()) {
         // A node's nap ends at its declared round: it is stepped again
         // (usually with an empty inbox) so it can resume its protocol.
-        for (NodeId u : it->second) active.push_back(u);
+        for (NodeId u : it->second) active_.push_back(u);
         pending_sleep_wakes_.erase(it);
       }
       for (NodeId u = 0; u < n; ++u) {
-        if (!inbox_[u].empty()) active.push_back(u);
+        if (!inbox_[u].empty()) active_.push_back(u);
       }
-      for (NodeId u : tick_requests_) active.push_back(u);
+      for (NodeId u : tick_requests_) active_.push_back(u);
       tick_requests_.clear();
 
-      std::sort(active.begin(), active.end());
-      active.erase(std::unique(active.begin(), active.end()), active.end());
+      std::sort(active_.begin(), active_.end());
+      active_.erase(std::unique(active_.begin(), active_.end()),
+                    active_.end());
       if (sleeping) {
         // Declared-asleep nodes receive no events at all — an adversary
         // wake or stale tick request aimed at a napping node evaporates.
-        active.erase(std::remove_if(active.begin(), active.end(),
-                                    [this](NodeId u) { return is_asleep(u); }),
-                     active.end());
+        active_.erase(
+            std::remove_if(active_.begin(), active_.end(),
+                           [this](NodeId u) { return is_asleep(u); }),
+            active_.end());
       }
 
-      if (active.empty()) {
-        Time next = pending_wakes_.empty() ? kNever
-                                           : pending_wakes_.begin()->first;
+      if (active_.empty()) {
+        Time next = wake_cursor_ < wakes_.size() ? wakes_[wake_cursor_].first
+                                                 : kNever;
         if (!pending_sleep_wakes_.empty()) {
           next = std::min(next, pending_sleep_wakes_.begin()->first);
         }
@@ -367,28 +436,14 @@ class SyncRunner {
       }
 
       // 3. Step every active node.
-      for (NodeId u : active) {
-        ++awake_rounds[u];
-        ctx_.attach(u);
-        if (!core_.is_awake(u)) {
-          const WakeCause cause = adversary_woken.count(u)
-                                      ? WakeCause::kAdversary
-                                      : WakeCause::kMessage;
-          // local_round() must read 1 inside on_wake, so set the base first.
-          wake_round_[u] = round_;
-          core_.mark_awake(u, round_, cause);
-          handler_.on_wake(ctx_, cause);
-          ctx_.attach(u);  // on_wake may not change it, but be explicit
-        }
-        if (!inbox_[u].empty()) {
-          core_.account_delivery(u, round_, inbox_[u].size());
-        }
-        handler_.on_round(ctx_, inbox_[u]);
-        inbox_[u].clear();
+      if (parallel_.enabled()) {
+        step_parallel();
+      } else {
+        step_sequential();
       }
-      metrics.events += active.size();
+      metrics.events += active_.size();
       metrics.rounds = round_ + 1;
-      if (probe_ != nullptr) probe_->on_sync_round(active.size());
+      if (probe_ != nullptr) probe_->on_sync_round(active_.size());
     }
     return core_.take_result();
   }
@@ -413,6 +468,27 @@ class SyncRunner {
     next_inbox_[to].push_back(Incoming{receiver_port, std::move(msg)});
   }
 
+  /// ParSyncContext::send, worker side: validate the port (same check, and
+  /// therefore the same failure text, as send_from), resolve the receiver,
+  /// and append the message to the outbox bucket owned by the scatter
+  /// worker that will deliver it. All accounting, limit checks and trace
+  /// events happen later, in reduce_outboxes, in sequential order.
+  void record_send(SyncChunkOutbox& ob, NodeId from, Port p, Message msg) {
+    const Instance& instance = core_.instance();
+    RISE_CHECK_MSG(p < instance.graph().degree(from),
+                   "send on invalid port " << p << " at node " << from);
+    const NodeId to = instance.port_to_neighbor(from, p);
+    const Port receiver_port = instance.reverse_port(from, p);
+    const auto bucket = static_cast<std::size_t>(
+        static_cast<std::uint64_t>(to) * outboxes_.size() / n_);
+    std::vector<SyncSendRecord>& bin = ob.buckets[bucket];
+    bin.push_back(SyncSendRecord{to, receiver_port, std::move(msg)});
+    ob.order.push_back(
+        (static_cast<std::uint64_t>(bucket) << kOrderIndexBits) |
+        static_cast<std::uint64_t>(bin.size() - 1));
+    ++ob.sends;
+  }
+
   Time round() const { return round_; }
   std::uint64_t local_round(NodeId u) const {
     return core_.is_awake(u) ? (round_ - wake_round_[u] + 1) : 0;
@@ -422,18 +498,28 @@ class SyncRunner {
   /// Context::sleep_until, engine side: the node naps over rounds
   /// (round_, target) exclusive and is stepped again at `target`.
   void sleep_until(NodeId u, Time target) {
-    RISE_CHECK_MSG(limits_.sleeping_model,
-                   "sleep_until requires SyncRunLimits::sleeping_model");
-    RISE_CHECK_MSG(target > round_,
-                   "sleep_until(" << target << ") in round " << round_
-                                  << " must target a strictly future round");
-    RISE_CHECK_MSG(asleep_until_[u] <= round_,
-                   "node " << u << " re-declared sleep while a nap is pending");
+    sleep_checks(u, target);
     asleep_until_[u] = target;
     pending_sleep_wakes_[target].push_back(u);
   }
 
+  /// ParSyncContext::sleep_until, worker side: same validation (same
+  /// failure texts), but only the node-owned asleep_until_ slot is written;
+  /// the shared pending_sleep_wakes_ registration is deferred to the
+  /// reduction via the step record.
+  void sleep_local(NodeId u, Time target, SyncStepRecord& step) {
+    sleep_checks(u, target);
+    asleep_until_[u] = target;
+    step.slept = true;
+    step.sleep_target = target;
+  }
+
  private:
+  /// Width of the within-bucket index field in SyncChunkOutbox::order
+  /// entries; 2^40 comfortably exceeds max_messages, and the bucket id in
+  /// the high bits fits any plausible job count.
+  static constexpr unsigned kOrderIndexBits = 40;
+
   /// Clears each recycled inbox (an aborted run can leave messages behind)
   /// and sizes the vector for n nodes, keeping all inner capacity.
   static void reset_boxes(std::vector<std::vector<Incoming>>& boxes,
@@ -442,9 +528,196 @@ class SyncRunner {
     boxes.resize(n);
   }
 
+  void sleep_checks(NodeId u, Time target) const {
+    RISE_CHECK_MSG(limits_.sleeping_model,
+                   "sleep_until requires SyncRunLimits::sleeping_model");
+    RISE_CHECK_MSG(target > round_,
+                   "sleep_until(" << target << ") in round " << round_
+                                  << " must target a strictly future round");
+    RISE_CHECK_MSG(asleep_until_[u] <= round_,
+                   "node " << u << " re-declared sleep while a nap is pending");
+  }
+
+  /// Was u woken by the adversary *this round*? Binary search over the
+  /// current round's (node-sorted) slice of the flat wake schedule.
+  bool adversary_woke(NodeId u) const {
+    const auto* it = std::lower_bound(
+        round_wakes_begin_, round_wakes_end_, u,
+        [](const std::pair<Time, NodeId>& w, NodeId v) {
+          return w.second < v;
+        });
+    return it != round_wakes_end_ && it->second == u;
+  }
+
+  void step_sequential() {
+    std::vector<std::uint32_t>& awake_rounds = core_.result().awake_rounds;
+    for (NodeId u : active_) {
+      ++awake_rounds[u];
+      ctx_.attach(u);
+      if (!core_.is_awake(u)) {
+        const WakeCause cause = adversary_woke(u) ? WakeCause::kAdversary
+                                                  : WakeCause::kMessage;
+        // local_round() must read 1 inside on_wake, so set the base first.
+        wake_round_[u] = round_;
+        core_.mark_awake(u, round_, cause);
+        handler_.on_wake(ctx_, cause);
+        ctx_.attach(u);  // on_wake may not change it, but be explicit
+      }
+      if (!inbox_[u].empty()) {
+        core_.account_delivery(u, round_, inbox_[u].size());
+      }
+      handler_.on_round(ctx_, inbox_[u]);
+      inbox_[u].clear();
+    }
+  }
+
+  // ---- round-parallel stepping -----------------------------------------
+  //
+  // Three-phase execution of one stepped round, bit-identical to
+  // step_sequential for any job count:
+  //
+  //   1. step (parallel): chunk c steps active_[c*A/jobs, (c+1)*A/jobs).
+  //      Workers touch only node-owned state (awake flag, wake_round_,
+  //      asleep_until_, RNG stream, outputs, awake_rounds, own inbox) and
+  //      record everything shared — sends, wake causes, delivered counts,
+  //      naps, tick requests, probe marks — into their chunk outbox.
+  //   2. reduce (sequential): walk outboxes in chunk order, steps in step
+  //      order, replaying wake accounting, per-send accounting + CONGEST /
+  //      max_messages checks + trace events, deferred probe marks (by send
+  //      sequence number), nap registrations and tick requests — the exact
+  //      interleaving the sequential loop produces.
+  //   3. scatter (parallel): worker j moves every chunk's bucket-j send
+  //      records into the receivers' next_inbox_. Receiver u is in bucket
+  //      u*jobs/n, so exactly one worker ever touches next_inbox_[u], and
+  //      walking chunks in order reproduces the sequential per-receiver
+  //      arrival order.
+  //
+  // A chunk failure (invalid port, sleep-contract violation) is caught
+  // into its outbox and the lowest failed chunk is rethrown — that chunk
+  // contains the earliest active node, where the sequential loop would
+  // have stopped. Caveat: if one round produces both a worker-side error
+  // and a reduction-side error (CONGEST / max_messages), the worker-side
+  // one wins even when the sequential loop would have hit the other first;
+  // no shipped kernel triggers either.
+  void step_parallel() {
+    const std::size_t jobs = outboxes_.size();
+    for (SyncChunkOutbox& ob : outboxes_) ob.reset(jobs);
+    parallel_.executor->run(jobs, &SyncRunner::step_chunk_thunk, this);
+    for (SyncChunkOutbox& ob : outboxes_) {
+      if (ob.error != nullptr) std::rethrow_exception(ob.error);
+    }
+    reduce_outboxes();
+    parallel_.executor->run(jobs, &SyncRunner::scatter_chunk_thunk, this);
+  }
+
+  static void step_chunk_thunk(void* arg, std::size_t chunk) {
+    static_cast<SyncRunner*>(arg)->step_chunk(chunk);
+  }
+  static void scatter_chunk_thunk(void* arg, std::size_t bucket) {
+    static_cast<SyncRunner*>(arg)->scatter_chunk(bucket);
+  }
+
+  void step_chunk(std::size_t chunk) noexcept {
+    SyncChunkOutbox& ob = outboxes_[chunk];
+    const std::size_t jobs = outboxes_.size();
+    const std::size_t total = active_.size();
+    const std::size_t begin = chunk * total / jobs;
+    const std::size_t end = (chunk + 1) * total / jobs;
+    std::vector<std::uint32_t>& awake_rounds = core_.result().awake_rounds;
+    obs::DeferredMarkScope defer(&ob.marks, &ob.sends);
+    ParSyncContext<Handler> ctx(*this, core_, ob);
+    try {
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId u = active_[i];
+        SyncStepRecord st;
+        st.node = u;
+        st.send_begin = static_cast<std::uint32_t>(ob.order.size());
+        ++awake_rounds[u];
+        ctx.attach_step(u, &st);
+        if (!core_.is_awake(u)) {
+          st.woke = true;
+          st.cause = adversary_woke(u) ? WakeCause::kAdversary
+                                       : WakeCause::kMessage;
+          // local_round() must read 1 inside on_wake, same as sequential.
+          wake_round_[u] = round_;
+          core_.mark_awake_local(u, round_);
+          handler_.on_wake(ctx, st.cause);
+          ctx.attach_step(u, &st);
+        }
+        st.delivered = static_cast<std::uint32_t>(inbox_[u].size());
+        handler_.on_round(ctx, inbox_[u]);
+        inbox_[u].clear();
+        st.send_end = static_cast<std::uint32_t>(ob.order.size());
+        ob.steps.push_back(st);
+      }
+    } catch (...) {
+      ob.error = std::current_exception();
+    }
+  }
+
+  void reduce_outboxes() {
+    Metrics& metrics = core_.result().metrics;
+    TraceSink* trace = core_.trace();
+    constexpr std::uint64_t kIndexMask =
+        (std::uint64_t{1} << kOrderIndexBits) - 1;
+    for (SyncChunkOutbox& ob : outboxes_) {
+      auto mark = ob.marks.begin();
+      std::uint64_t s = 0;
+      for (const SyncStepRecord& st : ob.steps) {
+        if (st.woke) core_.account_wake(round_, st.node, st.cause);
+        for (; s < st.send_end; ++s) {
+          // A mark stamped with seq <= s happened before send s (after
+          // send s-1), so it must land before send s's phase attribution.
+          while (mark != ob.marks.end() && mark->seq <= s) {
+            if (probe_ != nullptr) probe_->replay(*mark);
+            ++mark;
+          }
+          const std::uint64_t packed = ob.order[s];
+          const SyncSendRecord& rec =
+              ob.buckets[packed >> kOrderIndexBits][packed & kIndexMask];
+          core_.account_send(st.node, rec.msg, round_);
+          RISE_CHECK_MSG(metrics.messages <= limits_.max_messages,
+                         "sync engine exceeded max_messages");
+          if (trace != nullptr) {
+            trace->on_send(round_, st.node, rec.to, rec.msg);
+            // Sleeping model: delivery is conditional on the receiver
+            // being awake next round; run() traces it after the nap
+            // filter, exactly as send_from does sequentially.
+            if (!limits_.sleeping_model) {
+              trace->on_deliver(round_ + 1, st.node, rec.to, rec.msg);
+            }
+          }
+        }
+        // Sequential accounting applies the delivery between the on_wake
+        // and on_round sends; deliveries/received_per_node/last_delivery
+        // are commutative counters with no trace or probe hooks, so
+        // applying it after the step's sends yields identical totals.
+        if (st.delivered != 0) {
+          core_.account_delivery(st.node, round_, st.delivered);
+        }
+        if (st.slept) pending_sleep_wakes_[st.sleep_target].push_back(st.node);
+        if (st.tick) tick_requests_.insert(st.node);
+      }
+      for (; mark != ob.marks.end(); ++mark) {
+        if (probe_ != nullptr) probe_->replay(*mark);
+      }
+    }
+  }
+
+  void scatter_chunk(std::size_t bucket) noexcept {
+    for (SyncChunkOutbox& ob : outboxes_) {
+      for (SyncSendRecord& rec : ob.buckets[bucket]) {
+        next_inbox_[rec.to].push_back(
+            Incoming{rec.receiver_port, std::move(rec.msg)});
+      }
+      ob.buckets[bucket].clear();
+    }
+  }
+
   Handler& handler_;
   EngineCore& core_;
   SyncRunLimits limits_;
+  SyncParallel parallel_;
   SyncRunnerContext<Handler> ctx_;
   RunWorkspace* workspace_;
   obs::Probe* probe_ = nullptr;
@@ -454,11 +727,20 @@ class SyncRunner {
   bool is_asleep(NodeId u) const { return asleep_until_[u] > round_; }
 
   Time round_ = 0;
+  NodeId n_ = 0;
   std::vector<Time> wake_round_;
   std::vector<Time> asleep_until_;
   std::vector<std::vector<Incoming>> inbox_;
   std::vector<std::vector<Incoming>> next_inbox_;
-  std::map<Time, std::vector<NodeId>> pending_wakes_;
+  /// Flat adversary wake schedule, sorted by (round, node); consumed once
+  /// by a cursor. The current round's slice is published for
+  /// adversary_woke().
+  std::vector<std::pair<Time, NodeId>> wakes_;
+  std::size_t wake_cursor_ = 0;
+  const std::pair<Time, NodeId>* round_wakes_begin_ = nullptr;
+  const std::pair<Time, NodeId>* round_wakes_end_ = nullptr;
+  std::vector<NodeId> active_;
+  std::vector<SyncChunkOutbox> outboxes_;  ///< one per job; parallel only
   std::map<Time, std::vector<NodeId>> pending_sleep_wakes_;
   std::set<NodeId> tick_requests_;
 };

@@ -62,6 +62,9 @@ struct SyncKernelArgs {
   TraceSink* trace = nullptr;
   obs::Probe* probe = nullptr;
   RunWorkspace* workspace = nullptr;
+  /// Round-parallel stepping (sim/parallel.hpp); default = sequential.
+  /// Bit-identical results for any job count.
+  SyncParallel parallel;
 };
 
 /// Type-erased kernel: runs one family under either engine. Default-built
@@ -122,7 +125,7 @@ KernelRunner make_kernel(K prototype) {
     K kernel = prototype;
     kernel.reset(*a.instance, a.workspace);
     internal::SyncRunner<K> runner(kernel, core, *a.schedule, a.limits,
-                                   a.workspace);
+                                   a.workspace, a.parallel);
     return runner.run();
   };
   return KernelRunner(std::move(async_fn), std::move(sync_fn));

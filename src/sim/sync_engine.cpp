@@ -16,9 +16,8 @@ RunResult SyncEngine::run(const ProcessFactory& factory,
   EngineCore core(instance_, /*tau=*/1, seed_, factory, trace_, probe_,
                   workspace_);
   internal::ProcessHandler handler{core};
-  internal::SyncRunner<internal::ProcessHandler> runner(handler, core,
-                                                        schedule_, limits,
-                                                        workspace_);
+  internal::SyncRunner<internal::ProcessHandler> runner(
+      handler, core, schedule_, limits, workspace_, parallel_);
   return runner.run();
 }
 

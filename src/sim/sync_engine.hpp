@@ -23,6 +23,7 @@
 #include "sim/adversary.hpp"
 #include "sim/instance.hpp"
 #include "sim/metrics.hpp"
+#include "sim/parallel.hpp"
 #include "sim/process.hpp"
 #include "sim/trace.hpp"
 #include "sim/workspace.hpp"
@@ -61,10 +62,15 @@ class SyncEngine {
   /// AsyncEngine::set_workspace — same contract, bit-identical results.
   void set_workspace(RunWorkspace* workspace) { workspace_ = workspace; }
 
+  /// Round-parallel stepping (sim/parallel.hpp); results are bit-identical
+  /// to the default sequential path for any job count.
+  void set_parallel(SyncParallel parallel) { parallel_ = parallel; }
+
  private:
   TraceSink* trace_ = nullptr;
   obs::Probe* probe_ = nullptr;
   RunWorkspace* workspace_ = nullptr;
+  SyncParallel parallel_;
   const Instance& instance_;
   WakeSchedule schedule_;
   std::uint64_t seed_;

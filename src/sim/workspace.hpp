@@ -15,10 +15,13 @@
 // test_sim_workspace pins across engines, queue backends and algorithms.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <typeinfo>
+#include <utility>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
@@ -33,6 +36,59 @@ namespace rise::sim {
 struct ChannelState {
   std::uint64_t msg_index = 0;  // messages sent so far on this channel
   Time last_delivery = 0;       // FIFO clamp
+};
+
+/// One send recorded by a parallel sync chunk (SyncRunner::step_parallel),
+/// bucketed by which scatter worker owns the receiver. The sequential
+/// reduction reads `msg` for accounting/tracing; the scatter pass then
+/// moves it into the receiver's inbox.
+struct SyncSendRecord {
+  NodeId to = 0;
+  Port receiver_port = kInvalidPort;
+  Message msg;
+};
+
+/// Everything one stepped node did during a parallel sync chunk, in step
+/// order. The sequential reduction replays these records to apply metrics,
+/// trace events, tick requests, and nap registrations in exactly the order
+/// the single-thread loop would have.
+struct SyncStepRecord {
+  NodeId node = 0;
+  WakeCause cause = WakeCause::kAdversary;
+  bool woke = false;
+  bool tick = false;
+  bool slept = false;
+  Time sleep_target = 0;
+  std::uint32_t delivered = 0;        ///< inbox size when stepped
+  std::uint32_t send_begin = 0;       ///< [send_begin, send_end) into `order`
+  std::uint32_t send_end = 0;
+};
+
+/// Per-chunk output of one parallel sync round. Pooled in RunWorkspace so
+/// steady-state rounds allocate nothing: every vector keeps its high-water
+/// capacity across rounds and trials.
+struct SyncChunkOutbox {
+  /// Sends grouped by scatter bucket (receiver-range owner), append order =
+  /// chunk-local send order restricted to that bucket.
+  std::vector<std::vector<SyncSendRecord>> buckets;
+  /// Chunk-local send order: entry s encodes (bucket << 40) | index, so the
+  /// reduction can walk sends in the exact order they happened while the
+  /// records themselves live pre-bucketed for the parallel scatter.
+  std::vector<std::uint64_t> order;
+  std::vector<SyncStepRecord> steps;
+  std::vector<obs::DeferredMark> marks;  ///< deferred probe mutations
+  std::uint64_t sends = 0;               ///< == order.size(); mark seq source
+  std::exception_ptr error;              ///< first failure in this chunk
+
+  void reset(std::size_t num_buckets) {
+    if (buckets.size() != num_buckets) buckets.resize(num_buckets);
+    for (auto& b : buckets) b.clear();
+    order.clear();
+    steps.clear();
+    marks.clear();
+    sends = 0;
+    error = nullptr;
+  }
 };
 
 struct RunWorkspace {
@@ -51,6 +107,9 @@ struct RunWorkspace {
   std::vector<Time> asleep_until;  // sleeping model (declared naps)
   std::vector<std::vector<Incoming>> inbox;
   std::vector<std::vector<Incoming>> next_inbox;
+  std::vector<std::pair<Time, NodeId>> sync_wakes;  // flat wake schedule
+  std::vector<NodeId> sync_active;                  // per-round active set
+  std::vector<SyncChunkOutbox> sync_outboxes;       // parallel rounds only
 
   // Kernel-path storage (sim/kernel.hpp): one type-tagged slot holding the
   // current algorithm family's flat node-state vectors, so back-to-back

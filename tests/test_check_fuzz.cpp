@@ -160,6 +160,37 @@ TEST(RunFuzz, ParallelCampaignIsBitIdenticalToSerial) {
   EXPECT_EQ(report.jobs, 4u);
 }
 
+// The round-parallel differential (PR 10): 50 sampled scenarios, every
+// synchronous trial replayed with trial_jobs = 3 on the serial chunk
+// executor (threadless, so this stays deterministic), all digests equal to
+// the sequential run. The sync-capable families guarantee the differential
+// actually fires — parallel_differentials counts the replays performed.
+TEST(RunFuzz, RoundParallelReplayMatchesSequentialDigests) {
+  FuzzOptions options;
+  options.trials = 50;
+  options.seed = 9;
+  options.trial_jobs = 3;
+  options.verify_threads = false;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.ok()) << format_fuzz(report);
+  EXPECT_EQ(report.trials, 50u);
+  EXPECT_GT(report.parallel_differentials, 0u);
+  const std::string formatted = format_fuzz(report);
+  EXPECT_NE(formatted.find("round-parallel"), std::string::npos);
+}
+
+// trial_jobs = 1 disables the differential entirely.
+TEST(RunFuzz, RoundParallelDifferentialCanBeDisabled) {
+  FuzzOptions options;
+  options.trials = 8;
+  options.seed = 9;
+  options.trial_jobs = 1;
+  options.verify_threads = false;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.ok()) << format_fuzz(report);
+  EXPECT_EQ(report.parallel_differentials, 0u);
+}
+
 TEST(RunFuzz, InjectedFaultIsCaughtAndShrunkSmall) {
   FuzzOptions options;
   options.trials = 12;

@@ -143,6 +143,42 @@ TEST(RunCampaign, DeterminismAcrossJobs) {
   EXPECT_EQ(b.jobs, 8u);
 }
 
+// trial_jobs composes with jobs: a jobs=2 x trial_jobs=3 campaign (pool of
+// six threads, admission-gated to two concurrent trials) must reproduce the
+// serial campaign bit for bit. The grid mixes lock-step families (where the
+// round-parallel engine actually engages) with an async family (where
+// trial_jobs is ignored by contract).
+TEST(RunCampaign, TrialJobsComposesWithJobsBitIdentically) {
+  CampaignPlan plan;
+  plan.base = tiny_spec();
+  plan.base.graph = "cgnp:40:0.15";
+  plan.num_seeds = 6;
+  plan.grid = {GridAxis{"algo", {"fast_wakeup", "smis", "flooding"}}};
+
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel;
+  parallel.jobs = 2;
+  parallel.trial_jobs = 3;
+  const CampaignResult a = run_campaign(plan, serial);
+  const CampaignResult b = run_campaign(plan, parallel);
+
+  ASSERT_EQ(a.trials.size(), 18u);
+  ASSERT_EQ(b.trials.size(), 18u);
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.trials[i].trial.spec.seed, b.trials[i].trial.spec.seed);
+    EXPECT_EQ(a.trials[i].ok, b.trials[i].ok);
+    EXPECT_EQ(a.trials[i].messages, b.trials[i].messages);
+    EXPECT_EQ(a.trials[i].bits, b.trials[i].bits);
+    EXPECT_EQ(a.trials[i].time_units, b.trials[i].time_units);
+    EXPECT_EQ(a.trials[i].wakeup_span, b.trials[i].wakeup_span);
+    EXPECT_EQ(a.trials[i].awake_node_ticks, b.trials[i].awake_node_ticks);
+  }
+  EXPECT_EQ(a.total.failures, b.total.failures);
+  EXPECT_EQ(a.total.errors, b.total.errors);
+}
+
 TEST(RunCampaign, CountsSleepersAsFailures) {
   // ttl:1 flooding dies out on a long path: the run completes but leaves
   // nodes asleep, which is a failure (not an error) under the default plan.

@@ -173,5 +173,120 @@ TEST(ThreadPool, ManyMoreThreadsThanCoresWork) {
   EXPECT_EQ(sum.load(), 200L * 201L / 2);
 }
 
+// ---- run_chunks (the round-parallel chunk executor substrate) ----------
+
+namespace {
+
+/// Marks chunk i in a flags vector; run_chunks' contract is every index in
+/// [0, count) exactly once.
+struct ChunkFlags {
+  explicit ChunkFlags(std::size_t count) : hits(count) {}
+  static void mark(void* self, std::size_t i) {
+    auto& flags = *static_cast<ChunkFlags*>(self);
+    flags.hits[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<int>> hits;
+};
+
+}  // namespace
+
+TEST(ThreadPoolChunks, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{64}, std::size_t{1000}}) {
+    ChunkFlags flags(count);
+    pool.run_chunks(count, &ChunkFlags::mark, &flags);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(flags.hits[i].load(), 1) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolChunks, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  ChunkFlags flags(128);
+  pool.run_chunks(128, &ChunkFlags::mark, &flags);
+  for (auto& h : flags.hits) EXPECT_EQ(h.load(), 1);
+}
+
+// The deadlock-freedom contract: a task already running ON the pool may
+// call run_chunks. The caller claims chunks from its own batch inline, so
+// it makes progress even when every worker (itself included) is occupied —
+// worst case it runs the whole batch serially on its own thread.
+TEST(ThreadPoolChunks, NestedCallFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.submit([&pool, &total] {
+      ChunkFlags flags(50);
+      pool.run_chunks(50, &ChunkFlags::mark, &flags);
+      int sum = 0;
+      for (auto& h : flags.hits) sum += h.load();
+      total.fetch_add(sum, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+// Every worker blocked on slow plain tasks: the run_chunks caller must not
+// wait for a free worker, it inlines the batch itself.
+TEST(ThreadPoolChunks, BusyPoolFallsBackToCallerInline) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  for (int t = 0; t < 2; ++t) {
+    pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  ChunkFlags flags(64);
+  pool.run_chunks(64, &ChunkFlags::mark, &flags);  // caller's thread only
+  for (auto& h : flags.hits) EXPECT_EQ(h.load(), 1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+}
+
+// Concurrent batches from independent threads must not cross wires: each
+// caller waits for exactly its own batch.
+TEST(ThreadPoolChunks, ConcurrentBatchesStayIndependent) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  std::vector<std::thread> callers;
+  std::vector<int> sums(kCallers, 0);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      for (int round = 0; round < 20; ++round) {
+        ChunkFlags flags(31);
+        pool.run_chunks(31, &ChunkFlags::mark, &flags);
+        for (auto& h : flags.hits) sums[static_cast<std::size_t>(c)] += h;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) EXPECT_EQ(sums[c], 20 * 31);
+}
+
+TEST(ThreadPoolChunks, PoolChunkExecutorRunsInlineWithoutPool) {
+  PoolChunkExecutor executor(nullptr);
+  ChunkFlags flags(10);
+  executor.run(10, &ChunkFlags::mark, &flags);
+  for (auto& h : flags.hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolChunks, PoolChunkExecutorUsesPool) {
+  ThreadPool pool(3);
+  PoolChunkExecutor executor(&pool);
+  ChunkFlags flags(200);
+  executor.run(200, &ChunkFlags::mark, &flags);
+  for (auto& h : flags.hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace rise::runner

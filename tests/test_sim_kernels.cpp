@@ -16,6 +16,10 @@
 // RunWorkspace threaded through interleaved kernel/process runs of
 // *different* families, which exercises the typeid-tagged kernel-state slot
 // and the recycled Process vector side by side.
+// A second differential rides the same digest machinery: round-parallel
+// stepping (RunInstruments::trial_jobs, PR 10) must be bit-identical to the
+// sequential lock-step path for every job count, every sync family, both
+// the serial chunk executor and a real thread pool, and dirty workspaces.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -23,6 +27,8 @@
 #include <vector>
 
 #include "app/spec.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/parallel.hpp"
 #include "sim/trace.hpp"
 #include "sim/workspace.hpp"
 
@@ -57,6 +63,10 @@ struct RunConfig {
   sim::EventQueue::Mode queue_mode = sim::EventQueue::Mode::kAuto;
   bool force_sync_engine = false;
   sim::RunWorkspace* workspace = nullptr;
+  /// > 1 turns on round-parallel stepping (serial executor unless
+  /// `trial_executor` is set, so the run stays threadless-deterministic).
+  std::uint32_t trial_jobs = 1;
+  sim::ChunkExecutor* trial_executor = nullptr;
 };
 
 std::string run_digest(const app::ExperimentSpec& spec,
@@ -68,6 +78,8 @@ std::string run_digest(const app::ExperimentSpec& spec,
   instruments.queue_mode = config.queue_mode;
   instruments.force_sync_engine = config.force_sync_engine;
   instruments.use_virtual_processes = config.use_virtual_processes;
+  instruments.trial_jobs = config.trial_jobs;
+  instruments.trial_executor = config.trial_executor;
   const app::PreparedExperiment prepared = app::prepare_experiment(spec);
   const app::ExperimentReport report =
       app::execute_prepared(prepared, spec, instruments, config.workspace);
@@ -182,6 +194,87 @@ TEST(SimKernels, DirtyWorkspaceReuseIsBitIdentical) {
     fresh.use_virtual_processes = step.use_virtual_processes;
     EXPECT_EQ(run_digest(spec, dirty), run_digest(spec, fresh))
         << step.algo << " virtual=" << step.use_virtual_processes;
+  }
+}
+
+// The round-parallel matrix: every synchronous family (including the
+// sleeping-model pair, whose nap registrations and sleep-dropped accounting
+// go through the deferred reduction) at trial_jobs in {1, 2, 5} must
+// produce the digest of the sequential run — full CSV trace included, so
+// the reduction's event interleaving is pinned, not just the final metrics.
+TEST(SimKernels, RoundParallelSteppingIsBitIdentical) {
+  for (const auto& algo : kSyncFamilies) {
+    for (std::uint64_t seed : {3u, 11u}) {
+      const auto spec = make_spec(algo, seed);
+      const std::string sequential = run_digest(spec, RunConfig{});
+      for (std::uint32_t jobs : {1u, 2u, 5u}) {
+        RunConfig parallel;
+        parallel.trial_jobs = jobs;
+        EXPECT_EQ(sequential, run_digest(spec, parallel))
+            << algo << " seed=" << seed << " trial_jobs=" << jobs;
+      }
+    }
+  }
+}
+
+// Message-driven families forced onto the lock-step engine (the fuzzer's
+// unit-delay differential) must also be trial_jobs-invariant: this is the
+// path where a wake can race a delivery in the same round.
+TEST(SimKernels, RoundParallelForcedSyncIsBitIdentical) {
+  for (const auto& algo :
+       {std::string("flooding"), std::string("ranked_dfs"),
+        std::string("cen"), std::string("cor2")}) {
+    auto spec = make_spec(algo, 7);
+    spec.delay = "unit";
+    RunConfig sequential;
+    sequential.force_sync_engine = true;
+    const std::string expect = run_digest(spec, sequential);
+    for (std::uint32_t jobs : {2u, 5u}) {
+      RunConfig parallel = sequential;
+      parallel.trial_jobs = jobs;
+      EXPECT_EQ(expect, run_digest(spec, parallel))
+          << algo << " trial_jobs=" << jobs;
+    }
+  }
+}
+
+// Same matrix on a real thread pool: chunk order must come from the
+// reduction, never from which worker finished first. Also covers the
+// nested-use fallback — the pool here has fewer threads than chunks.
+TEST(SimKernels, RoundParallelOnThreadPoolIsBitIdentical) {
+  runner::ThreadPool pool(2);
+  runner::PoolChunkExecutor executor(&pool);
+  for (const auto& algo : kSyncFamilies) {
+    const auto spec = make_spec(algo, 11);
+    const std::string sequential = run_digest(spec, RunConfig{});
+    RunConfig parallel;
+    parallel.trial_jobs = 5;
+    parallel.trial_executor = &executor;
+    EXPECT_EQ(sequential, run_digest(spec, parallel)) << algo;
+  }
+}
+
+// Dirty-workspace reuse on the parallel path: chunk outboxes and the flat
+// wake schedule are recycled pools, and switching trial_jobs between runs
+// re-shapes them; every dirty digest must equal a fresh sequential run.
+TEST(SimKernels, RoundParallelDirtyWorkspaceIsBitIdentical) {
+  struct Step {
+    std::string algo;
+    std::uint32_t trial_jobs;
+  };
+  const std::vector<Step> steps = {
+      {"fast_wakeup", 2}, {"smis", 5},     {"fast_wakeup", 1},
+      {"gossip:3", 5},    {"smatching", 2}, {"smis", 1},
+      {"smatching", 5},   {"fast_wakeup", 5},
+  };
+  sim::RunWorkspace workspace;
+  for (const auto& step : steps) {
+    const auto spec = make_spec(step.algo, 9);
+    RunConfig dirty;
+    dirty.trial_jobs = step.trial_jobs;
+    dirty.workspace = &workspace;
+    EXPECT_EQ(run_digest(spec, RunConfig{}), run_digest(spec, dirty))
+        << step.algo << " trial_jobs=" << step.trial_jobs;
   }
 }
 

@@ -39,9 +39,9 @@ void usage() {
   std::printf(
       "usage: rise_cli [run] [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
       "                [--delay SPEC] [--seed N] [--seeds COUNT] [--jobs N]\n"
-      "                [--json PATH] [--grid PARAM=a,b,c]... [--progress]\n"
-      "                [--profile[=PATH]] [--share-config] [--no-reuse]\n"
-      "                [--store DIR] [--shard K/N]\n"
+      "                [--trial-jobs N] [--json PATH] [--grid PARAM=a,b,c]...\n"
+      "                [--progress] [--profile[=PATH]] [--share-config]\n"
+      "                [--no-reuse] [--store DIR] [--shard K/N]\n"
       "       rise_cli shard --workers N --store DIR [campaign flags]\n"
       "                      [--max-restarts N] [--json PATH]\n"
       "                      [--profile[=PATH]]\n"
@@ -49,16 +49,17 @@ void usage() {
       "       rise_cli --dot GRAPH_SPEC [--seed N]\n"
       "       rise_cli profile FILE [--top N]\n"
       "       rise_cli fuzz [--trials N] [--seed N] [--jobs N]\n"
-      "                     [--max-nodes N] [--max-tau T] [--families a,b]\n"
-      "                     [--fault late_delivery] [--no-shrink]\n"
-      "                     [--no-thread-check] [--corpus FILE]...\n"
+      "                     [--trial-jobs N] [--max-nodes N] [--max-tau T]\n"
+      "                     [--families a,b] [--fault late_delivery]\n"
+      "                     [--no-shrink] [--no-thread-check]\n"
+      "                     [--corpus FILE]...\n"
       "       rise_cli hunt [--graph SPEC] [--schedule SPEC] [--algo SPEC]\n"
       "                     [--delay SPEC] [--seed N] [--budget N]\n"
       "                     [--objective messages|time|rho_awk]\n"
       "                     [--search ea|anneal] [--lambda N] [--jobs N]\n"
-      "                     [--baseline random|none] [--min-nodes N]\n"
-      "                     [--max-nodes N] [--max-tau T] [--corpus FILE]\n"
-      "                     [--json PATH]\n\n"
+      "                     [--trial-jobs N] [--baseline random|none]\n"
+      "                     [--min-nodes N] [--max-nodes N] [--max-tau T]\n"
+      "                     [--corpus FILE] [--json PATH]\n\n"
       "single run: every random choice derives from --seed (default 1).\n"
       "  --profile[=PATH]  attach the observability probe: print a per-phase\n"
       "                    breakdown and write a run_profile JSON document to\n"
@@ -77,6 +78,15 @@ void usage() {
       "                    bit-identical for any --jobs value.\n"
       "  --jobs N          worker threads (0 = all hardware threads;\n"
       "                    default 1)\n"
+      "  --trial-jobs N    round-parallel workers INSIDE each synchronous\n"
+      "                    trial (lock-step engine only; asynchronous runs\n"
+      "                    ignore it). Orthogonal to --jobs: --jobs J runs J\n"
+      "                    trials concurrently, --trial-jobs T splits each\n"
+      "                    trial's rounds across T workers, and the pool\n"
+      "                    carries J*T threads so the two never\n"
+      "                    oversubscribe. Results are bit-identical for any\n"
+      "                    value; use it to speed up few large trials where\n"
+      "                    --jobs has nothing to parallelize over.\n"
       "  --json PATH       structured results: one record per trial plus a\n"
       "                    summary block (schema_version %llu)\n"
       "  --grid P=a,b,c    sweep spec param P in {graph, schedule, algo,\n"
@@ -190,6 +200,9 @@ int run_fuzz_command(int argc, char** argv) {
       options.seed = parse_count(arg, value());
     } else if (arg == "--jobs") {
       options.jobs = parse_count(arg, value());
+    } else if (arg == "--trial-jobs") {
+      options.trial_jobs =
+          static_cast<std::uint32_t>(parse_count(arg, value()));
     } else if (arg == "--max-nodes") {
       options.generator.max_nodes =
           static_cast<sim::NodeId>(parse_count(arg, value()));
@@ -282,6 +295,9 @@ int run_hunt_command(int argc, char** argv) {
       options.lambda = parse_count(arg, value());
     } else if (arg == "--jobs") {
       options.jobs = parse_count(arg, value());
+    } else if (arg == "--trial-jobs") {
+      options.trial_jobs =
+          static_cast<std::uint32_t>(parse_count(arg, value()));
     } else if (arg == "--objective") {
       options.objective = search::parse_objective(value());
     } else if (arg == "--search") {
@@ -446,6 +462,9 @@ int run_shard_command(int argc, char** argv) {
       options.workers = static_cast<std::uint32_t>(parse_count(arg, value()));
     } else if (arg == "--jobs") {
       options.jobs_per_worker = parse_count(arg, value());
+    } else if (arg == "--trial-jobs") {
+      options.trial_jobs =
+          static_cast<std::uint32_t>(parse_count(arg, value()));
     } else if (arg == "--store") {
       options.store_dir = value();
     } else if (arg == "--max-restarts") {
@@ -602,6 +621,7 @@ int main(int argc, char** argv) {
   int die_after = 0;
   std::size_t seeds = 1;
   std::size_t jobs = 1;
+  std::uint32_t trial_jobs = 1;
   // "run" is an optional subcommand alias for the default mode, symmetric
   // with "fuzz" and "profile".
   const int first_flag = argc > 1 && std::strcmp(argv[1], "run") == 0 ? 2 : 1;
@@ -629,6 +649,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       jobs = parse_count(arg, value());
       campaign_mode = true;
+    } else if (arg == "--trial-jobs") {
+      // Intra-trial parallelism applies to single runs too, so this flag
+      // does not force campaign mode.
+      trial_jobs = static_cast<std::uint32_t>(parse_count(arg, value()));
     } else if (arg == "--json") {
       json_path = value();
       campaign_mode = true;
@@ -721,6 +745,7 @@ int main(int argc, char** argv) {
       }
       runner::CampaignOptions options;
       options.jobs = jobs == 0 ? runner::ThreadPool::hardware_threads() : jobs;
+      options.trial_jobs = trial_jobs;
       options.progress = progress_state == -1
                              ? isatty(fileno(stderr)) != 0
                              : progress_state == 1;
@@ -785,8 +810,21 @@ int main(int argc, char** argv) {
       }
       return result.total.failures == 0 && result.total.errors == 0 ? 0 : 1;
     }
+    // Single run. --trial-jobs N spins up a pool whose only purpose is
+    // round-parallel chunk execution inside the (synchronous) engine;
+    // results are bit-identical to the default serial run.
+    app::RunInstruments instruments;
+    std::unique_ptr<runner::ThreadPool> trial_pool;
+    std::unique_ptr<runner::PoolChunkExecutor> trial_executor;
+    if (trial_jobs > 1) {
+      trial_pool = std::make_unique<runner::ThreadPool>(trial_jobs);
+      trial_executor =
+          std::make_unique<runner::PoolChunkExecutor>(trial_pool.get());
+      instruments.trial_jobs = trial_jobs;
+      instruments.trial_executor = trial_executor.get();
+    }
     if (profile) {
-      const app::ProfiledReport profiled = app::run_profiled(spec);
+      const app::ProfiledReport profiled = app::run_profiled(spec, instruments);
       std::fputs(app::format_report(profiled.report).c_str(), stdout);
       std::fputs(obs::format_profile(profiled.profile).c_str(), stdout);
       std::ofstream out(profile_out);
@@ -799,7 +837,7 @@ int main(int argc, char** argv) {
       std::printf("profile   : %s\n", profile_out.c_str());
       return profiled.report.result.all_awake() ? 0 : 1;
     }
-    const auto report = app::run_experiment(spec);
+    const auto report = app::run_experiment(spec, instruments);
     std::fputs(app::format_report(report).c_str(), stdout);
     return report.result.all_awake() ? 0 : 1;
   } catch (const std::exception& e) {
